@@ -1,0 +1,55 @@
+// Ablation: the Run-Time Manager's payback-horizon rule (an extension beyond
+// the paper).
+//
+// A candidate upgrade is only requested when its expected latency savings
+// over `horizon` hot-spot instances repay the reconfiguration time of its
+// missing atoms. Without the rule (horizon 0), tail upgrades with negligible
+// value keep the reconfiguration port busy and evict the other hot spots'
+// resident atoms; with a too-aggressive rule (horizon 1), the platform
+// freezes into a static working set and the schedulers stop mattering.
+//
+// This bench also documents the one deliberate deviation from the paper's
+// Figure 7 (see EXPERIMENTS.md): with horizon 0 our FSFR crosses above ASF
+// at large AC counts exactly as the paper describes, but then beats HEF at
+// 22-24 ACs by accidental residency preservation; the default horizon (16)
+// restores HEF's never-slower property at the cost of that crossover.
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace rispp;
+  const bench::BenchContext ctx;
+
+  std::printf("Ablation — payback horizon (%d frames)\n\n", ctx.frames);
+  for (const unsigned horizon : {0u, 1u, 8u, 16u, 64u}) {
+    TextTable table({"#ACs", "ASF [Mcyc]", "FSFR [Mcyc]", "SJF [Mcyc]", "HEF [Mcyc]",
+                     "HEF loads"});
+    for (unsigned acs : {8u, 12u, 16u, 20u, 24u}) {
+      std::vector<std::string> row{std::to_string(acs)};
+      std::uint64_t hef_loads = 0;
+      for (const auto& name : scheduler_names()) {
+        auto scheduler = make_scheduler(name);
+        RtmConfig config;
+        config.container_count = acs;
+        config.scheduler = scheduler.get();
+        config.payback_horizon = horizon;
+        RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
+        h264::seed_default_forecasts(ctx.set, rtm);
+        const SimResult result = run_trace(ctx.trace, rtm);
+        row.push_back(format_fixed(result.total_cycles / 1e6, 1));
+        if (name == "HEF") hef_loads = result.atom_loads;
+      }
+      row.push_back(std::to_string(hef_loads));
+      table.add_row(std::move(row));
+    }
+    std::printf("horizon = %u %s\n%s\n", horizon,
+                horizon == 0 ? "(rule disabled)" : horizon == 16 ? "(default)" : "",
+                table.render().c_str());
+  }
+  std::printf("horizon 0 reproduces the paper's FSFR-over-ASF crossover at large\n"
+              "budgets; horizon 1 collapses into a static working set; the default\n"
+              "keeps HEF never-slower while still pruning worthless tail upgrades.\n");
+  return 0;
+}

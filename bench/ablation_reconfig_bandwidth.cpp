@@ -1,0 +1,55 @@
+// Ablation: reconfiguration-port bandwidth.
+//
+// The paper's 66 MB/s SelectMap/ICAP fixes the ~874 us atom load. Faster
+// ports shrink the upgrade windows (scheduling matters less); slower ports
+// stretch them (scheduling matters more, and Molen suffers most since it
+// cannot use partial molecules at all).
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace rispp;
+  const bench::BenchContext ctx;
+  constexpr unsigned kAcs = 12;
+
+  std::printf("Ablation — reconfiguration bandwidth @%u ACs (%d frames; paper port: "
+              "66 MB/s)\n\n",
+              kAcs, ctx.frames);
+  TextTable table({"port [MB/s]", "avg atom [us]", "HEF [Mcyc]", "ASF [Mcyc]",
+                   "Molen [Mcyc]", "HEF vs Molen"});
+  for (const std::uint64_t mbps : {16u, 33u, 66u, 132u, 264u, 1056u}) {
+    BitstreamModel model;
+    model.bytes_per_second = mbps * 1'000'000;
+
+    auto run_with = [&](const std::string& name) {
+      auto scheduler = make_scheduler(name);
+      RtmConfig config;
+      config.container_count = kAcs;
+      config.scheduler = scheduler.get();
+      config.bitstream = model;
+      RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
+      h264::seed_default_forecasts(ctx.set, rtm);
+      return run_trace(ctx.trace, rtm).total_cycles;
+    };
+    MolenConfig molen_config;
+    molen_config.container_count = kAcs;
+    molen_config.bitstream = model;
+    MolenBackend molen(&ctx.set, ctx.trace.hot_spots.size(), molen_config);
+    h264::seed_default_forecasts(ctx.set, molen);
+    const Cycles molen_cycles = run_trace(ctx.trace, molen).total_cycles;
+
+    const Cycles hef = run_with("HEF");
+    const Cycles asf = run_with("ASF");
+    table.add(mbps, format_fixed(model.average_reconfig_us(ctx.set.library()), 1),
+              format_fixed(hef / 1e6, 1), format_fixed(asf / 1e6, 1),
+              format_fixed(molen_cycles / 1e6, 1),
+              format_fixed(static_cast<double>(molen_cycles) / hef, 2));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expectation: the HEF-vs-Molen gap collapses as the port speeds up and\n"
+              "widens as it slows — gradual upgrading is a defence against slow\n"
+              "reconfiguration.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace rispp::bench {
+
+int bench_frames() {
+  if (const char* env = std::getenv("RISPP_FRAMES")) {
+    const int frames = std::atoi(env);
+    if (frames > 0) return frames;
+  }
+  return 140;  // the paper's sequence length
+}
+
+namespace {
+
+std::filesystem::path trace_cache_path(int frames) {
+  std::filesystem::path dir;
+  if (const char* env = std::getenv("RISPP_TRACE_DIR")) dir = env;
+  else dir = std::filesystem::temp_directory_path();
+  return dir / ("rispp_h264_trace_v" + std::to_string(h264::kWorkloadTraceVersion) + "_" +
+                std::to_string(frames) + ".rtrc");
+}
+
+WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
+  const auto path = trace_cache_path(frames);
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      try {
+        return WorkloadTrace::load(in);
+      } catch (const std::exception&) {
+        // Stale/corrupt cache: fall through to regeneration.
+      }
+    }
+  }
+  std::fprintf(stderr, "[bench] encoding %d synthetic CIF frames (cached at %s)...\n",
+               frames, path.string().c_str());
+  h264::WorkloadConfig config;
+  config.frames = frames;
+  WorkloadTrace trace = h264::generate_h264_workload(set, config).trace;
+  std::ofstream out(path, std::ios::binary);
+  if (out.good()) trace.save(out);
+  return trace;
+}
+
+}  // namespace
+
+BenchContext::BenchContext()
+    : set(h264sis::build_h264_si_set()),
+      trace(load_or_generate(set, bench_frames())),
+      frames(bench_frames()) {}
+
+SimResult BenchContext::run_scheduler(const std::string& scheduler_name,
+                                      unsigned container_count, SimStats* stats,
+                                      ForecastMode mode) const {
+  const auto scheduler = make_scheduler(scheduler_name);
+  RtmConfig config;
+  config.container_count = container_count;
+  config.scheduler = scheduler.get();
+  config.forecast_mode = mode;
+  RunTimeManager rtm(&set, trace.hot_spots.size(), config);
+  h264::seed_default_forecasts(set, rtm);
+  return run_trace(trace, rtm, stats);
+}
+
+SimResult BenchContext::run_molen(unsigned container_count, SimStats* stats) const {
+  MolenConfig config;
+  config.container_count = container_count;
+  MolenBackend molen(&set, trace.hot_spots.size(), config);
+  h264::seed_default_forecasts(set, molen);
+  return run_trace(trace, molen, stats);
+}
+
+}  // namespace rispp::bench

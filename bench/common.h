@@ -1,0 +1,41 @@
+// Shared context for the figure/table bench binaries.
+//
+// Every report binary replays the same 140-frame CIF H.264 workload (the
+// paper's evaluation run). Generating the trace takes a few seconds, so it
+// is cached on disk keyed by frame count; RISPP_FRAMES overrides the length
+// (e.g. RISPP_FRAMES=20 for a quick pass) and RISPP_TRACE_DIR the cache
+// location (default: the system temp directory).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/molen.h"
+#include "h264/workload.h"
+#include "isa/h264_si_library.h"
+#include "rtm/run_time_manager.h"
+#include "sched/registry.h"
+#include "sim/executor.h"
+
+namespace rispp::bench {
+
+struct BenchContext {
+  BenchContext();
+
+  SpecialInstructionSet set;
+  WorkloadTrace trace;
+  int frames;
+
+  /// Runs the trace under the RISPP Run-Time Manager with `scheduler_name`.
+  SimResult run_scheduler(const std::string& scheduler_name, unsigned container_count,
+                          SimStats* stats = nullptr,
+                          ForecastMode mode = ForecastMode::kMonitored) const;
+
+  /// Runs the trace under the Molen-like baseline.
+  SimResult run_molen(unsigned container_count, SimStats* stats = nullptr) const;
+};
+
+/// Number of frames the benches use (env RISPP_FRAMES, default 140).
+int bench_frames();
+
+}  // namespace rispp::bench

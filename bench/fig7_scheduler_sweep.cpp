@@ -1,0 +1,39 @@
+// Figure 7: execution time for encoding the CIF sequence as a function of
+// the Atom Container count (5..24), for the four scheduling strategies.
+//
+// Paper shape to look for: all strategies tie at tiny budgets; FSFR degrades
+// in the mid range ("as it strictly upgrades one SI after the other") and
+// recovers at large budgets; ASF/SJF plateau; HEF is lowest throughout and
+// the spread widens as ACs are added.
+#include <cstdio>
+#include <iostream>
+
+#include "base/csv.h"
+#include "base/table.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace rispp;
+  const bench::BenchContext ctx;
+
+  std::printf("Figure 7 — execution time [Mcycles] encoding %d CIF frames\n", ctx.frames);
+  std::printf("(paper: 140 frames, y-axis 200-500 Mcycles, 0 ACs = 7,403M)\n\n");
+
+  const auto names = scheduler_names();
+  TextTable table({"#ACs", "ASF", "FSFR", "SJF", "HEF", "best"});
+  CsvWriter csv(std::cout, {"acs", "asf_mcycles", "fsfr_mcycles", "sjf_mcycles",
+                            "hef_mcycles"});
+  for (unsigned acs = 5; acs <= 24; ++acs) {
+    double mcycles[4];
+    for (std::size_t i = 0; i < names.size(); ++i)
+      mcycles[i] = static_cast<double>(ctx.run_scheduler(names[i], acs).total_cycles) / 1e6;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 4; ++i)
+      if (mcycles[i] < mcycles[best]) best = i;
+    table.add(acs, mcycles[0], mcycles[1], mcycles[2], mcycles[3], names[best]);
+    csv.write(acs, format_fixed(mcycles[0], 2), format_fixed(mcycles[1], 2),
+              format_fixed(mcycles[2], 2), format_fixed(mcycles[3], 2));
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 8: detailed HEF behaviour at 10 Atom Containers over the first two
+// hot spots (ME and EE) of one encoded frame — SI latencies over time (the
+// immediate scheduler decisions; log-scale lines in the paper) and the
+// resulting SI executions per 100K cycles (bars).
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+#include "sim/stats.h"
+
+int main() {
+  using namespace rispp;
+  const bench::BenchContext ctx;
+
+  const SiId sad = ctx.set.find("SAD").value();
+  const SiId satd = ctx.set.find("SATD").value();
+  const SiId mc = ctx.set.find("MC 4").value();
+  const SiId dct = ctx.set.find("(I)DCT").value();
+
+  // First two hot spots of the first P frame (ME then EE), cold start.
+  WorkloadTrace window;
+  window.hot_spots = ctx.trace.hot_spots;
+  for (const auto& inst : ctx.trace.instances) {
+    if (window.instances.empty() && inst.hot_spot != h264::kHotSpotMe) continue;
+    window.instances.push_back(inst);
+    if (window.instances.size() == 2) break;
+  }
+  if (window.instances.size() < 2) {
+    std::printf("trace too short for Figure 8\n");
+    return 1;
+  }
+
+  auto scheduler = make_scheduler("HEF");
+  RtmConfig config;
+  config.container_count = 10;
+  config.scheduler = scheduler.get();
+  RunTimeManager rtm(&ctx.set, window.hot_spots.size(), config);
+  h264::seed_default_forecasts(ctx.set, rtm);
+  SimStats stats(ctx.set.si_count());
+  const SimResult result = run_trace(window, rtm, &stats);
+
+  std::printf("Figure 8 — HEF detail @10 ACs, first two hot spots (ME, EE) of one "
+              "frame; total %.2f Mcycles (paper: ~2.4M)\n\n",
+              result.total_cycles / 1e6);
+
+  // Latency at the start of each 100K bucket, from the change-point
+  // timelines (the paper's log-scale latency lines).
+  auto latency_at = [&](SiId si, Cycles t) -> Cycles {
+    Cycles lat = ctx.set.si(si).software_latency;
+    for (const auto& point : stats.latency_timeline(si)) {
+      if (point.at > t) break;
+      lat = point.latency;
+    }
+    return lat;
+  };
+
+  TextTable table({"t [100K cyc]", "SAD exec", "SATD exec", "MC exec", "DCT exec",
+                   "SAD lat", "SATD lat", "MC lat", "DCT lat"});
+  for (std::size_t b = 0; b < stats.bucket_count(); ++b) {
+    const Cycles t = static_cast<Cycles>(b) * kBucketCycles;
+    table.add(b, stats.bucket_executions(sad, b), stats.bucket_executions(satd, b),
+              stats.bucket_executions(mc, b), stats.bucket_executions(dct, b),
+              latency_at(sad, t), latency_at(satd, t), latency_at(mc, t),
+              latency_at(dct, t));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Scheduler decision landmarks (latency decreases = an upgrade's atoms "
+              "finished loading):\n");
+  for (SiId si : {sad, satd, mc, dct}) {
+    std::printf("  %-9s:", ctx.set.si(si).name.c_str());
+    for (const auto& point : stats.latency_timeline(si))
+      std::printf(" %llu@%.0fK", static_cast<unsigned long long>(point.latency),
+                  point.at / 1e3);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Micro-benchmarks (google-benchmark): the hot operations of the run-time
+// system and of the workload kernels. These are host-CPU numbers — they
+// bound simulator throughput, not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "alg/molecule.h"
+#include "base/prng.h"
+#include "dpg/enumerate.h"
+#include "dpg/list_scheduler.h"
+#include "h264/kernels.h"
+#include "h264/synthetic_video.h"
+#include "h264/transform.h"
+#include "isa/h264_si_library.h"
+#include "rtm/run_time_manager.h"
+#include "sched/hef.h"
+#include "sched/registry.h"
+#include "select/selection.h"
+#include "sim/executor.h"
+
+namespace {
+
+using namespace rispp;
+
+const SpecialInstructionSet& h264_set() {
+  static const SpecialInstructionSet set = h264sis::build_h264_si_set();
+  return set;
+}
+
+void BM_MoleculeJoin(benchmark::State& state) {
+  const Molecule a{1, 2, 0, 4, 1, 0, 2, 3, 0, 1, 2, 0, 1};
+  const Molecule b{2, 0, 3, 1, 0, 2, 1, 0, 4, 0, 1, 2, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(join(a, b));
+}
+BENCHMARK(BM_MoleculeJoin);
+
+void BM_MoleculeMissing(benchmark::State& state) {
+  const Molecule a{1, 2, 0, 4, 1, 0, 2, 3, 0, 1, 2, 0, 1};
+  const Molecule b{2, 0, 3, 1, 0, 2, 1, 0, 4, 0, 1, 2, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(missing(a, b));
+}
+BENCHMARK(BM_MoleculeMissing);
+
+void BM_FastestAvailable(benchmark::State& state) {
+  const auto& set = h264_set();
+  const SiId satd = set.find("SATD").value();
+  Molecule avail(set.atom_type_count());
+  for (std::size_t t = 0; t < avail.dimension(); ++t) avail[t] = 2;
+  for (auto _ : state) benchmark::DoNotOptimize(set.fastest_available(satd, avail));
+}
+BENCHMARK(BM_FastestAvailable);
+
+void BM_ListScheduleSatd(benchmark::State& state) {
+  const auto& set = h264_set();
+  const SiId satd = set.find("SATD").value();
+  const Molecule& instances = set.si(satd).molecules.front().atoms;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(molecule_latency(set.si(satd).graph, instances));
+}
+BENCHMARK(BM_ListScheduleSatd);
+
+void BM_EnumerateMoleculesSatd(benchmark::State& state) {
+  const auto& set = h264_set();
+  const SiId satd = set.find("SATD").value();
+  EnumerationOptions options;
+  // The platform's design-time caps (zero caps would mean occurrence-count
+  // caps: a ~500K-point grid — a design-space-exploration job, not a micro
+  // benchmark).
+  options.instance_caps = Molecule(set.atom_type_count());
+  const auto qsub = set.library().find("QSub").value();
+  const auto had = set.library().find("HadCore").value();
+  const auto sav = set.library().find("SAV").value();
+  const auto repack = set.library().find("Repack").value();
+  options.instance_caps[qsub] = 4;
+  options.instance_caps[had] = 6;
+  options.instance_caps[sav] = 3;
+  options.instance_caps[repack] = 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(enumerate_molecules(set.si(satd).graph, options));
+}
+BENCHMARK(BM_EnumerateMoleculesSatd)->Unit(benchmark::kMillisecond);
+
+ScheduleRequest me_request(const SpecialInstructionSet& set) {
+  ScheduleRequest req;
+  req.set = &set;
+  req.expected_executions.assign(set.si_count(), 0);
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  req.selected = {SiRef{sad, 2},
+                  SiRef{satd, static_cast<MoleculeId>(set.si(satd).molecules.size() - 1)}};
+  req.expected_executions[sad] = 24'000;
+  req.expected_executions[satd] = 3'600;
+  req.available = Molecule(set.atom_type_count());
+  return req;
+}
+
+void BM_HefScheduleMeHotSpot(benchmark::State& state) {
+  const auto& set = h264_set();
+  const ScheduleRequest req = me_request(set);
+  const HefScheduler hef;
+  for (auto _ : state) benchmark::DoNotOptimize(hef.schedule(req));
+}
+BENCHMARK(BM_HefScheduleMeHotSpot);
+
+void BM_SchedulerStrategies(benchmark::State& state) {
+  static const std::vector<std::string> names = scheduler_names();
+  const auto& set = h264_set();
+  const ScheduleRequest req = me_request(set);
+  const auto scheduler = make_scheduler(names[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) benchmark::DoNotOptimize(scheduler->schedule(req));
+  state.SetLabel(names[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_SchedulerStrategies)->DenseRange(0, 3);
+
+void BM_SelectMolecules(benchmark::State& state) {
+  const auto& set = h264_set();
+  SelectionRequest req;
+  req.set = &set;
+  req.expected_executions.assign(set.si_count(), 500);
+  for (SiId si = 0; si < set.si_count(); ++si) req.hot_spot_sis.push_back(si);
+  req.container_count = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(select_molecules(req));
+  state.SetLabel(std::to_string(state.range(0)) + " ACs");
+}
+BENCHMARK(BM_SelectMolecules)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Sad16x16(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  h264::Plane a(64, 64), b(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      a.at(x, y) = static_cast<h264::Pixel>(rng.bounded(256));
+      b.at(x, y) = static_cast<h264::Pixel>(rng.bounded(256));
+    }
+  for (auto _ : state) benchmark::DoNotOptimize(h264::sad_16x16(a, 16, 16, b, 17, 15));
+}
+BENCHMARK(BM_Sad16x16);
+
+void BM_Satd16x16(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  h264::Plane a(64, 64), b(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      a.at(x, y) = static_cast<h264::Pixel>(rng.bounded(256));
+      b.at(x, y) = static_cast<h264::Pixel>(rng.bounded(256));
+    }
+  for (auto _ : state) benchmark::DoNotOptimize(h264::satd_16x16(a, 16, 16, b, 17, 15));
+}
+BENCHMARK(BM_Satd16x16);
+
+void BM_Dct4x4RoundTrip(benchmark::State& state) {
+  int in[16], coeff[16], out[16];
+  for (int i = 0; i < 16; ++i) in[i] = (i * 37) % 255 - 128;
+  for (auto _ : state) {
+    h264::dct4x4(in, coeff);
+    h264::idct4x4(coeff, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Dct4x4RoundTrip);
+
+void BM_SyntheticFrame(benchmark::State& state) {
+  h264::VideoConfig config;
+  h264::SyntheticVideo video(config);
+  for (auto _ : state) benchmark::DoNotOptimize(video.next());
+}
+BENCHMARK(BM_SyntheticFrame)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // Events per second of the cycle-level executor on a dense ME-style trace.
+  const auto& set = h264_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad, satd}, 8}};
+  HotSpotInstance inst;
+  inst.hot_spot = 0;
+  inst.entry_overhead = 1000;
+  for (int i = 0; i < 100'000; ++i) inst.executions.push_back(i % 8 == 7 ? satd : sad);
+  trace.instances.push_back(std::move(inst));
+
+  const HefScheduler hef;
+  for (auto _ : state) {
+    RtmConfig config;
+    config.container_count = 17;
+    config.scheduler = &hef;
+    RunTimeManager rtm(&set, 1, config);
+    rtm.seed_forecast(0, sad, 87'500);
+    rtm.seed_forecast(0, satd, 12'500);
+    benchmark::DoNotOptimize(run_trace(trace, rtm));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 1: the implemented SIs of the H.264 encoder with the number of
+// required atom types and the number of available molecules — printed from
+// the live SI library next to the paper's numbers.
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+#include "hw/bitstream.h"
+
+int main() {
+  using namespace rispp;
+  const auto set = h264sis::build_h264_si_set();
+
+  struct PaperRow {
+    const char* hot_spot;
+    const char* name;
+    unsigned atom_types;
+    unsigned molecules;
+  };
+  const PaperRow paper[] = {
+      {"Motion Estimation (ME)", "SAD", 1, 3},
+      {"", "SATD", 4, 20},
+      {"Encoding Engine (EE)", "(I)DCT", 3, 12},
+      {"", "(I)HT 2x2", 1, 2},
+      {"", "(I)HT 4x4", 2, 7},
+      {"", "MC 4", 3, 11},
+      {"", "IPred HDC", 2, 4},
+      {"", "IPred VDC", 1, 3},
+      {"Loop Filter (LF)", "LF_BS4", 2, 5},
+  };
+
+  std::printf("Table 1 — implemented SIs with #atom-types and #molecules\n\n");
+  TextTable table({"hot spot", "SI", "#atom-types", "#molecules", "paper", "match",
+                   "trap [cyc]", "fastest [cyc]"});
+  bool all_match = true;
+  for (const PaperRow& row : paper) {
+    const auto id = set.find(row.name);
+    if (!id.has_value()) {
+      std::printf("missing SI %s\n", row.name);
+      return 1;
+    }
+    const SpecialInstruction& si = set.si(*id);
+    const unsigned types = si.graph.occurrences().type_count();
+    const auto molecules = static_cast<unsigned>(si.molecules.size());
+    const bool match = types == row.atom_types && molecules == row.molecules;
+    all_match = all_match && match;
+    Cycles fastest = si.software_latency;
+    for (const auto& m : si.molecules) fastest = std::min(fastest, m.latency);
+    table.add(row.hot_spot, row.name, types, molecules,
+              std::to_string(row.atom_types) + "/" + std::to_string(row.molecules),
+              match ? "yes" : "NO", si.software_latency, fastest);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("All rows match Table 1: %s\n\n", all_match ? "yes" : "NO");
+
+  // Atom library details (the paper: avg 421 slices, 60,488-byte partial
+  // bitstreams, 874.03 us average reconfiguration).
+  BitstreamModel model;
+  TextTable atoms({"atom type", "op lat", "sw cyc/op", "slices", "bitstream [B]",
+                   "reconfig [us]"});
+  for (AtomTypeId t = 0; t < set.library().size(); ++t) {
+    const AtomType& a = set.library().type(t);
+    atoms.add(a.name, a.op_latency, a.sw_op_cycles, a.slices, model.bitstream_bytes(a),
+              format_fixed(us_from_cycles(model.reconfig_cycles(a)), 1));
+  }
+  std::printf("%s\n", atoms.render().c_str());
+  std::printf("average atom reconfiguration: %.2f us (paper: 874.03 us)\n",
+              model.average_reconfig_us(set.library()));
+  return all_match ? 0 : 1;
+}

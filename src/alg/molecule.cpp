@@ -1,0 +1,97 @@
+#include "alg/molecule.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace rispp {
+
+Molecule Molecule::unit(std::size_t dimension, AtomTypeId type) {
+  RISPP_CHECK(type < dimension);
+  Molecule u(dimension);
+  u[type] = 1;
+  return u;
+}
+
+bool Molecule::empty() const {
+  return std::all_of(counts_.begin(), counts_.end(), [](AtomCount c) { return c == 0; });
+}
+
+unsigned Molecule::determinant() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0u);
+}
+
+unsigned Molecule::type_count() const {
+  return static_cast<unsigned>(
+      std::count_if(counts_.begin(), counts_.end(), [](AtomCount c) { return c != 0; }));
+}
+
+std::string Molecule::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(counts_[i]);
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+void check_same_dimension(const Molecule& a, const Molecule& b) {
+  RISPP_CHECK_MSG(a.dimension() == b.dimension(),
+                  "dimension mismatch: " << a.dimension() << " vs " << b.dimension());
+}
+}  // namespace
+
+Molecule join(const Molecule& a, const Molecule& b) {
+  check_same_dimension(a, b);
+  Molecule out(a.dimension());
+  for (std::size_t i = 0; i < a.dimension(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+Molecule meet(const Molecule& a, const Molecule& b) {
+  check_same_dimension(a, b);
+  Molecule out(a.dimension());
+  for (std::size_t i = 0; i < a.dimension(); ++i) out[i] = std::min(a[i], b[i]);
+  return out;
+}
+
+bool leq(const Molecule& a, const Molecule& b) {
+  check_same_dimension(a, b);
+  for (std::size_t i = 0; i < a.dimension(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+Molecule missing(const Molecule& available, const Molecule& wanted) {
+  check_same_dimension(available, wanted);
+  Molecule out(available.dimension());
+  for (std::size_t i = 0; i < available.dimension(); ++i)
+    out[i] = wanted[i] > available[i] ? static_cast<AtomCount>(wanted[i] - available[i]) : 0;
+  return out;
+}
+
+Molecule sup(std::span<const Molecule> set, std::size_t dimension) {
+  Molecule acc(dimension);
+  for (const Molecule& m : set) acc = join(acc, m);
+  return acc;
+}
+
+Molecule inf(std::span<const Molecule> set) {
+  RISPP_CHECK_MSG(!set.empty(), "inf of an empty Molecule set is unbounded");
+  Molecule acc = set.front();
+  for (std::size_t i = 1; i < set.size(); ++i) acc = meet(acc, set[i]);
+  return acc;
+}
+
+std::vector<AtomTypeId> unit_decomposition(const Molecule& meta) {
+  std::vector<AtomTypeId> units;
+  units.reserve(meta.determinant());
+  for (std::size_t i = 0; i < meta.dimension(); ++i)
+    for (AtomCount k = 0; k < meta[i]; ++k) units.push_back(static_cast<AtomTypeId>(i));
+  return units;
+}
+
+}  // namespace rispp

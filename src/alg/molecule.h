@@ -1,0 +1,93 @@
+// The Molecule assembly model of DATE'08 §4.1.
+//
+// A Molecule is a vector m ∈ ℕⁿ where n is the number of atom *types* in the
+// platform and m_i is the desired number of instances of atom type i. The
+// structure (ℕⁿ, ∪, ∩, ≤) is a complete lattice:
+//
+//   (m ∪ o)_i = max(m_i, o_i)   -- Meta-Molecule covering both (join)
+//   (m ∩ o)_i = min(m_i, o_i)   -- atoms collectively needed (meet)
+//   m ≤ o  iff  ∀i: m_i ≤ o_i   -- partial order
+//   |m|   = Σ m_i               -- determinant: total atoms required
+//   (m ⊖ o)_i = max(o_i - m_i,0) -- atoms still missing for o given m
+//
+// (The paper writes the last operator with a ⊖-like symbol and argument order
+// "m ⊖ o = what o needs beyond m"; we keep that order.)
+//
+// These five operations are the entire vocabulary of the Atom scheduling
+// problem (§4.2-4.4), so they live in their own tiny library with
+// property-based tests for the algebraic laws.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rispp {
+
+class Molecule {
+ public:
+  Molecule() = default;
+
+  /// Zero molecule (neutral element of ∪) of the given dimension.
+  explicit Molecule(std::size_t dimension) : counts_(dimension, 0) {}
+
+  Molecule(std::initializer_list<AtomCount> counts) : counts_(counts) {}
+
+  explicit Molecule(std::vector<AtomCount> counts) : counts_(std::move(counts)) {}
+
+  /// Unit-Molecule u_t: one instance of atom type t (eq. (1) alphabet).
+  static Molecule unit(std::size_t dimension, AtomTypeId type);
+
+  std::size_t dimension() const { return counts_.size(); }
+  bool empty() const;  // all-zero?
+
+  AtomCount operator[](std::size_t i) const { return counts_[i]; }
+  AtomCount& operator[](std::size_t i) { return counts_[i]; }
+  std::span<const AtomCount> counts() const { return counts_; }
+
+  /// Determinant |m|: total number of atoms required.
+  unsigned determinant() const;
+
+  /// Number of distinct atom types with non-zero count.
+  unsigned type_count() const;
+
+  bool operator==(const Molecule& rhs) const = default;
+
+  /// "m1,m2,...,mn" — used in logs and golden tests.
+  std::string to_string() const;
+
+ private:
+  std::vector<AtomCount> counts_;
+};
+
+/// Join: Meta-Molecule containing the atoms required to implement both.
+Molecule join(const Molecule& a, const Molecule& b);
+/// Meet: atoms collectively needed by both.
+Molecule meet(const Molecule& a, const Molecule& b);
+
+inline Molecule operator|(const Molecule& a, const Molecule& b) { return join(a, b); }
+inline Molecule operator&(const Molecule& a, const Molecule& b) { return meet(a, b); }
+
+/// Partial order m ≤ o iff every component is ≤. Note: !(a<=b) does NOT imply
+/// b<=a — molecules can be incomparable (paper's m2=(2,2) vs m4=(1,3)).
+bool leq(const Molecule& a, const Molecule& b);
+
+/// available ⊖ wanted: the minimal Meta-Molecule that still has to be loaded
+/// to offer `wanted` when `available` is already configured.
+Molecule missing(const Molecule& available, const Molecule& wanted);
+
+/// sup M = ∪ over the set (zero molecule if empty, per the neutral element).
+Molecule sup(std::span<const Molecule> set, std::size_t dimension);
+/// inf M = ∩ over the set. Empty set has no finite representation here, so
+/// the caller must pass a non-empty set.
+Molecule inf(std::span<const Molecule> set);
+
+/// Decomposes (available ⊖ wanted) into a list of Unit-Molecule type ids —
+/// the tokens the scheduling function SF emits (§4.2 eq. (1)).
+std::vector<AtomTypeId> unit_decomposition(const Molecule& meta);
+
+}  // namespace rispp

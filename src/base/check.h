@@ -1,0 +1,35 @@
+// Invariant checking that stays on in release builds.
+//
+// The simulator is a measurement instrument: a silently-violated invariant
+// produces wrong numbers, so RISPP_CHECK is always active (unlike assert).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rispp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "RISPP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace rispp::detail
+
+#define RISPP_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) ::rispp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RISPP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::rispp::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                       \
+  } while (false)

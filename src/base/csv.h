@@ -1,0 +1,38 @@
+// Minimal CSV emission for bench series (so figures can be re-plotted).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rispp {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  template <typename... Ts>
+  void write(const Ts&... cells) {
+    write_row({to_cell(cells)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+}  // namespace rispp

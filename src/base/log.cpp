@@ -1,0 +1,44 @@
+#include "base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rispp {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("RISPP_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) g_level = LogLevel::kOff;
+}
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[rispp %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace rispp

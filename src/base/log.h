@@ -1,0 +1,38 @@
+// Leveled logging with a process-global verbosity switch.
+//
+// The simulator is usually silent; RISPP_LOG_LEVEL=debug (environment) or
+// set_log_level() turns on scheduler decision traces, which is how Figure 8
+// style analyses were debugged.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rispp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Reads RISPP_LOG_LEVEL from the environment once ("debug", "info", ...).
+void init_log_level_from_env();
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+}  // namespace rispp
+
+#define RISPP_LOG(level, expr)                                      \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::rispp::log_level())) { \
+      std::ostringstream os_;                                       \
+      os_ << expr;                                                  \
+      ::rispp::detail::emit_log(level, os_.str());                  \
+    }                                                               \
+  } while (false)
+
+#define RISPP_DEBUG(expr) RISPP_LOG(::rispp::LogLevel::kDebug, expr)
+#define RISPP_INFO(expr) RISPP_LOG(::rispp::LogLevel::kInfo, expr)
+#define RISPP_WARN(expr) RISPP_LOG(::rispp::LogLevel::kWarn, expr)

@@ -1,0 +1,69 @@
+#include "base/prng.h"
+
+namespace rispp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(bounded(span));
+}
+
+double Xoshiro256::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::gaussian(double mean, double stddev) {
+  double acc = 0.0;
+  for (int i = 0; i < 6; ++i) acc += uniform01();
+  // Sum of 6 U(0,1): mean 3, variance 0.5 -> normalize to N(0,1)-ish.
+  const double z = (acc - 3.0) / 0.7071067811865476;
+  return mean + stddev * z;
+}
+
+}  // namespace rispp

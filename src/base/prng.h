@@ -1,0 +1,35 @@
+// Deterministic PRNG for synthetic workload generation.
+//
+// xoshiro256** (Blackman & Vigna). We carry our own generator rather than
+// <random>'s engines so that traces are bit-identical across standard
+// libraries — benchmark reproducibility depends on it.
+#pragma once
+
+#include <cstdint>
+
+namespace rispp {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 6 terms):
+  /// cheap, deterministic, good enough for pixel noise.
+  double gaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rispp

@@ -1,0 +1,62 @@
+#include "base/table.h"
+
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace rispp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  RISPP_CHECK_MSG(cells.size() == header_.size(),
+                  "row has " << cells.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_grouped(unsigned long long v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace rispp

@@ -1,0 +1,57 @@
+// Plain-text table rendering for the figure/table report benches.
+//
+// The bench binaries print the paper's rows/series as aligned text tables so
+// the output can be eyeballed next to the paper and diffed between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rispp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string cell_to_string(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.2f" style) without iostream state.
+std::string format_fixed(double v, int digits);
+
+/// Groups thousands: 7403000000 -> "7,403,000,000".
+std::string format_grouped(unsigned long long v);
+
+template <typename T>
+std::string TextTable::cell_to_string(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_fixed(static_cast<double>(v), 2);
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace rispp

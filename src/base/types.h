@@ -1,0 +1,35 @@
+// Fundamental scalar types and identifiers used throughout the RISPP
+// run-time-system model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rispp {
+
+/// Simulated processor clock cycles. The model clock is 100 MHz (see
+/// base/clock.h), matching the DATE'08 prototype discussion.
+using Cycles = std::uint64_t;
+
+/// Index of an atom *type* in the global AtomLibrary (BytePack, PointFilter,
+/// Clip3, ... for the H.264 instance).
+using AtomTypeId = std::uint16_t;
+
+/// Index of a Special Instruction in a SpecialInstructionSet.
+using SiId = std::uint16_t;
+
+/// Index of a Molecule within one SI's molecule list. kSoftwareMolecule
+/// denotes the trap-based execution with the base instruction set.
+using MoleculeId = std::uint16_t;
+inline constexpr MoleculeId kSoftwareMolecule = std::numeric_limits<MoleculeId>::max();
+
+/// Index of a physical Atom Container.
+using ContainerId = std::uint16_t;
+inline constexpr ContainerId kNoContainer = std::numeric_limits<ContainerId>::max();
+
+/// One instance count inside a Molecule vector.
+using AtomCount = std::uint16_t;
+
+inline constexpr Cycles kMaxCycles = std::numeric_limits<Cycles>::max();
+
+}  // namespace rispp

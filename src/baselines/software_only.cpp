@@ -1,0 +1,3 @@
+#include "baselines/software_only.h"
+
+// Header-only backend; this TU anchors the library target.

@@ -1,0 +1,26 @@
+// Pure base-processor execution (0 Atom Containers): every SI traps. The
+// paper's reference point "down to the execution speed of a general-purpose
+// processor in case of zero ACs: 7,403M cycles".
+#pragma once
+
+#include "sim/executor.h"
+#include "isa/si.h"
+
+namespace rispp {
+
+class SoftwareOnlyBackend final : public ExecutionBackend {
+ public:
+  explicit SoftwareOnlyBackend(const SpecialInstructionSet* set) : set_(set) {}
+
+  std::string_view name() const override { return "Software"; }
+  void on_hot_spot_entry(const WorkloadTrace&, std::size_t, Cycles) override {}
+  void on_hot_spot_exit(Cycles) override {}
+  Cycles si_execution_latency(SiId si, Cycles) override {
+    return set_->si(si).software_latency;
+  }
+
+ private:
+  const SpecialInstructionSet* set_;
+};
+
+}  // namespace rispp

@@ -1,0 +1,247 @@
+#include "config/platform_parser.h"
+
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "base/check.h"
+#include "base/table.h"
+
+namespace rispp::config {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  for (char ch : line) {
+    if (ch == '#' && !in_quotes) break;  // comment
+    if (ch == '"') {
+      in_quotes = !in_quotes;
+      continue;  // quotes delimit but are not part of the token
+    }
+    if (!in_quotes && (ch == ' ' || ch == '\t')) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "platform description line " << line << ": " << message;
+  throw std::logic_error(os.str());
+}
+
+long parse_int(int line, const std::string& text) {
+  std::size_t used = 0;
+  long value = 0;
+  try {
+    value = std::stol(text, &used);
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + text + "'");
+  }
+  if (used != text.size()) fail(line, "trailing characters in number '" + text + "'");
+  return value;
+}
+
+/// Splits "key=value"; returns false if '=' is absent.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+/// "x16" -> 16.
+unsigned parse_count(int line, const std::string& token) {
+  if (token.size() < 2 || token[0] != 'x') fail(line, "expected xN count, got '" + token + "'");
+  const long n = parse_int(line, token.substr(1));
+  if (n <= 0 || n > 4096) fail(line, "count out of range in '" + token + "'");
+  return static_cast<unsigned>(n);
+}
+
+struct LayerSpec {
+  std::string atom;
+  unsigned count = 0;
+};
+
+struct SiSpec {
+  std::string name;
+  Cycles trap_overhead = 64;
+  unsigned molecule_target = 0;
+  unsigned min_determinant = 0;
+  std::vector<std::pair<std::string, unsigned>> caps;
+  /// Blocks of chained layers; repetition per block.
+  std::vector<std::pair<std::vector<LayerSpec>, unsigned>> blocks;
+};
+
+}  // namespace
+
+SpecialInstructionSet parse_platform(std::istream& input) {
+  AtomLibrary library;
+  std::vector<SiSpec> sis;
+
+  enum class State { kTop, kSi, kBlock };
+  State state = State::kTop;
+  SiSpec current_si;
+  std::vector<LayerSpec> current_block;
+  unsigned current_block_count = 1;
+  bool explicit_block = false;
+
+  auto flush_block = [&](int line) {
+    if (current_block.empty()) {
+      if (explicit_block) fail(line, "empty block");
+      return;
+    }
+    current_si.blocks.emplace_back(std::move(current_block), current_block_count);
+    current_block.clear();
+    current_block_count = 1;
+  };
+
+  std::string line_text;
+  int line = 0;
+  while (std::getline(input, line_text)) {
+    ++line;
+    const auto tokens = tokenize(line_text);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+
+    if (state == State::kTop) {
+      if (head == "atom") {
+        if (tokens.size() != 5) fail(line, "atom needs: name op_latency sw_cycles slices");
+        AtomType type;
+        type.name = tokens[1];
+        type.op_latency = static_cast<Cycles>(parse_int(line, tokens[2]));
+        type.sw_op_cycles = static_cast<Cycles>(parse_int(line, tokens[3]));
+        type.slices = static_cast<unsigned>(parse_int(line, tokens[4]));
+        try {
+          library.add(type);
+        } catch (const std::logic_error& e) {
+          fail(line, e.what());
+        }
+      } else if (head == "si") {
+        if (tokens.size() < 2) fail(line, "si needs a name");
+        current_si = SiSpec{};
+        current_si.name = tokens[1];
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value)) fail(line, "expected key=value: " + tokens[i]);
+          if (key == "trap") current_si.trap_overhead = static_cast<Cycles>(parse_int(line, value));
+          else if (key == "molecules")
+            current_si.molecule_target = static_cast<unsigned>(parse_int(line, value));
+          else if (key == "min_det")
+            current_si.min_determinant = static_cast<unsigned>(parse_int(line, value));
+          else fail(line, "unknown si attribute '" + key + "'");
+        }
+        state = State::kSi;
+        explicit_block = false;
+      } else {
+        fail(line, "expected 'atom' or 'si', got '" + head + "'");
+      }
+      continue;
+    }
+
+    // Inside an si (or block).
+    if (head == "caps") {
+      if (state != State::kSi) fail(line, "caps must precede blocks/layers");
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) fail(line, "caps entries are Name=N");
+        current_si.caps.emplace_back(key, static_cast<unsigned>(parse_int(line, value)));
+      }
+    } else if (head == "block") {
+      if (state == State::kBlock) fail(line, "blocks do not nest");
+      flush_block(line);  // implicit layers before the block form their own block
+      if (tokens.size() != 2) fail(line, "block needs an xN count");
+      current_block_count = parse_count(line, tokens[1]);
+      explicit_block = true;
+      state = State::kBlock;
+    } else if (head == "layer") {
+      if (tokens.size() != 3) fail(line, "layer needs: atom-name xN");
+      LayerSpec spec;
+      spec.atom = tokens[1];
+      spec.count = parse_count(line, tokens[2]);
+      current_block.push_back(spec);
+    } else if (head == "end") {
+      if (state == State::kBlock) {
+        if (current_block.empty()) fail(line, "empty block");
+        flush_block(line);
+        explicit_block = false;
+        state = State::kSi;
+      } else {
+        flush_block(line);
+        if (current_si.blocks.empty()) fail(line, "si '" + current_si.name + "' has no layers");
+        sis.push_back(std::move(current_si));
+        state = State::kTop;
+      }
+    } else {
+      fail(line, "unexpected '" + head + "' inside si");
+    }
+  }
+  if (state != State::kTop) fail(line, "unterminated si '" + current_si.name + "'");
+  if (library.size() == 0) fail(line, "no atoms defined");
+  if (sis.empty()) fail(line, "no SIs defined");
+
+  SpecialInstructionSet set(std::move(library));
+  for (SiSpec& spec : sis) {
+    DataPathGraph graph(&set.library());
+    for (const auto& [layers, repeat] : spec.blocks) {
+      for (unsigned r = 0; r < repeat; ++r) {
+        std::vector<NodeId> prev;
+        for (const LayerSpec& layer : layers) {
+          const auto type = set.library().find(layer.atom);
+          if (!type.has_value())
+            throw std::logic_error("platform description: si '" + spec.name +
+                                   "' uses unknown atom '" + layer.atom + "'");
+          prev = graph.add_layer(*type, layer.count, prev);
+        }
+      }
+    }
+    Molecule caps(set.library().size());
+    for (const auto& [name, cap] : spec.caps) {
+      const auto type = set.library().find(name);
+      if (!type.has_value())
+        throw std::logic_error("platform description: cap for unknown atom '" + name + "'");
+      caps[*type] = static_cast<AtomCount>(cap);
+    }
+    set.add_si(spec.name, std::move(graph), caps, spec.trap_overhead, spec.molecule_target,
+               spec.min_determinant);
+  }
+  return set;
+}
+
+SpecialInstructionSet parse_platform_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_platform(is);
+}
+
+std::string describe_platform(const SpecialInstructionSet& set) {
+  std::ostringstream os;
+  os << "# RISPP platform: " << set.si_count() << " SIs over " << set.atom_type_count()
+     << " atom types\n";
+  for (AtomTypeId t = 0; t < set.library().size(); ++t) {
+    const AtomType& a = set.library().type(t);
+    os << "atom " << a.name << " " << a.op_latency << " " << a.sw_op_cycles << " "
+       << a.slices << "\n";
+  }
+  for (SiId id = 0; id < set.si_count(); ++id) {
+    const SpecialInstruction& si = set.si(id);
+    os << "# si \"" << si.name << "\": trap latency " << si.software_latency << ", "
+       << si.molecules.size() << " molecules\n";
+    for (const auto& m : si.molecules)
+      os << "#   " << m.atoms.to_string() << " -> " << m.latency << " cycles\n";
+  }
+  return os.str();
+}
+
+}  // namespace rispp::config

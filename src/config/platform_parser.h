@@ -1,0 +1,51 @@
+// Textual platform descriptions.
+//
+// A downstream user defines their own RISPP platform — atom types, Special
+// Instructions, data-path graphs, instance caps — in a small line-oriented
+// language instead of C++:
+//
+//     # atoms:  name  hw-op-latency  sw-cycles-per-op  slices
+//     atom SADRow   2  64  410
+//     atom Clip3    1  12  210
+//
+//     # one SI; body until 'end'
+//     si "SAD" trap=64 molecules=3
+//       caps SADRow=3
+//       layer SADRow x16          # 16 parallel occurrences
+//     end
+//
+//     si "MC" trap=64 molecules=11 min_det=6
+//       caps BytePack=2 PointFilter=6 Clip3=2
+//       block x8                  # repeat the sub-graph 8 times
+//         layer BytePack x4       # layers chain: each depends on the
+//         layer PointFilter x6    # whole previous layer of its block
+//         layer Clip3 x2
+//       end
+//     end
+//
+// Semantics: inside an `si`, consecutive `layer` lines chain (layer N
+// depends on all nodes of layer N-1); `block xN ... end` repeats its layer
+// chain N times as independent sub-graphs (block-level parallelism).
+// `molecules=` is the Table 1 style thinning target, `min_det=` the minimum
+// hardware-molecule determinant; both optional.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/si.h"
+
+namespace rispp::config {
+
+/// Parses a platform description; throws std::logic_error with a line number
+/// on malformed input.
+SpecialInstructionSet parse_platform(std::istream& input);
+SpecialInstructionSet parse_platform_string(const std::string& text);
+
+/// Renders a human-readable report of `set`: the atom table in `atom` line
+/// syntax plus, per SI, the derived molecule list (as comments). Graph
+/// structure is not reconstructed, so the output is documentation, not a
+/// round-trip serialization.
+std::string describe_platform(const SpecialInstructionSet& set);
+
+}  // namespace rispp::config

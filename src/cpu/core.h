@@ -1,0 +1,58 @@
+// Functional + timing model of the 5-stage in-order base pipeline.
+//
+// Timing: one instruction per cycle, plus
+//   * a 1-cycle load-use stall when a load's destination feeds the very next
+//     instruction (classic MIPS interlock),
+//   * a taken-branch/jump penalty (pipeline refill),
+//   * extra cycles for the iterative multiplier.
+// Two presets mirror the prototype's base cores: DLX/MIPS and Leon2/SPARC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "cpu/program.h"
+
+namespace rispp::cpu {
+
+struct PipelineTiming {
+  Cycles taken_branch_penalty = 2;
+  Cycles load_use_stall = 1;
+  Cycles mul_extra_cycles = 2;  // 3-cycle iterative multiplier
+
+  static PipelineTiming dlx() { return {2, 1, 2}; }
+  static PipelineTiming leon2() { return {3, 1, 4}; }
+};
+
+struct RunResult {
+  std::uint64_t instructions = 0;
+  Cycles cycles = 0;
+  bool halted = false;  // false: max_instructions exhausted
+};
+
+class Core {
+ public:
+  explicit Core(std::size_t memory_bytes, PipelineTiming timing = PipelineTiming::dlx());
+
+  /// Architectural state access (r0 stays zero).
+  std::int32_t reg(Reg r) const { return regs_[r]; }
+  void set_reg(Reg r, std::int32_t value);
+
+  std::uint8_t load_byte(std::uint32_t address) const;
+  void store_byte(std::uint32_t address, std::uint8_t value);
+  std::int32_t load_word(std::uint32_t address) const;
+  void store_word(std::uint32_t address, std::int32_t value);
+
+  /// Executes `program` from instruction 0 until kHalt (or the instruction
+  /// budget runs out). Registers/memory persist across runs.
+  RunResult run(const Program& program, std::uint64_t max_instructions = 10'000'000);
+
+ private:
+  PipelineTiming timing_;
+  std::array<std::int32_t, kRegisterCount> regs_{};
+  std::vector<std::uint8_t> memory_;
+};
+
+}  // namespace rispp::cpu

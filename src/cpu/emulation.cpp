@@ -1,0 +1,333 @@
+#include "cpu/emulation.h"
+
+#include "base/check.h"
+#include "isa/h264_si_library.h"
+
+namespace rispp::cpu {
+namespace {
+
+// Memory layout used by all kernels: operand A at 0x100, operand B at 0x200,
+// output at 0x300. kA0/kA1/kA2 carry those base addresses.
+constexpr int kSrcA = 0x100;
+constexpr int kSrcB = 0x200;
+constexpr int kDst = 0x300;
+
+/// abs(t0) -> t0 via the sign-mask trick (4 instructions, branch-free).
+void emit_abs_t0(Program& p) {
+  p.sra(kT7, kT0, 31);      // mask = t0 >> 31 (all ones if negative)
+  p.xor_(kT0, kT0, kT7);
+  p.sub(kT0, kT0, kT7);
+}
+
+/// SADRow: one 16-pixel row of |a-b| accumulated into v0.
+Program sad_row_kernel() {
+  Program p;
+  p.li(kV0, 0);
+  for (int x = 0; x < 16; ++x) {
+    p.lbu(kT0, kA0, x);
+    p.lbu(kT1, kA1, x);
+    p.sub(kT0, kT0, kT1);
+    emit_abs_t0(p);
+    p.add(kV0, kV0, kT0);
+  }
+  p.halt();
+  return p;
+}
+
+/// QSub: packed 4-pixel subtract (residual bytes to words).
+Program qsub_kernel() {
+  Program p;
+  for (int x = 0; x < 4; ++x) {
+    p.lbu(kT0, kA0, x);
+    p.lbu(kT1, kA1, x);
+    p.sub(kT0, kT0, kT1);
+    p.sw(kT0, kA2, 4 * x);
+  }
+  p.halt();
+  return p;
+}
+
+/// HadCore: one atom op covers two 4-point Hadamard butterflies (a half
+/// stage of a 4x4 block).
+Program hadcore_kernel() {
+  Program p;
+  for (int pass = 0; pass < 2; ++pass) {
+    const int off = 16 * pass;
+    for (int i = 0; i < 4; ++i) p.lw(static_cast<Reg>(kT0 + i), kA0, off + 4 * i);
+    // s0=a+c s1=b+d d0=a-c d1=b-d ; out = (s0+s1, d0+d1, s0-s1, d0-d1)
+    p.add(kT4, kT0, kT2);
+    p.add(kT5, kT1, kT3);
+    p.sub(kT6, kT0, kT2);
+    p.sub(kT7, kT1, kT3);
+    p.add(kT0, kT4, kT5);
+    p.add(kT1, kT6, kT7);
+    p.sub(kT2, kT4, kT5);
+    p.sub(kT3, kT6, kT7);
+    for (int i = 0; i < 4; ++i) p.sw(static_cast<Reg>(kT0 + i), kA2, off + 4 * i);
+  }
+  p.halt();
+  return p;
+}
+
+/// SAV: sum of absolute values of 4 words into v0.
+Program sav_kernel() {
+  Program p;
+  p.li(kV0, 0);
+  for (int i = 0; i < 4; ++i) {
+    p.lw(kT0, kA0, 4 * i);
+    emit_abs_t0(p);
+    p.add(kV0, kV0, kT0);
+  }
+  p.halt();
+  return p;
+}
+
+/// Repack: byte-lane shuffle of one word (gather 4 bytes, repack reversed).
+Program repack_kernel() {
+  Program p;
+  for (int i = 0; i < 4; ++i) {
+    p.lbu(kT0, kA0, i);
+    p.sb(kT0, kA2, 3 - i);
+  }
+  p.halt();
+  return p;
+}
+
+/// TransformRow: one atom op transforms two 4-point rows of the block.
+Program transform_row_kernel() {
+  Program p;
+  for (int row = 0; row < 2; ++row) {
+    const int off = 16 * row;
+    for (int i = 0; i < 4; ++i) p.lw(static_cast<Reg>(kT0 + i), kA0, off + 4 * i);
+    // s0=x0+x3 s1=x1+x2 d0=x0-x3 d1=x1-x2
+    p.add(kT4, kT0, kT3);
+    p.add(kT5, kT1, kT2);
+    p.sub(kT6, kT0, kT3);
+    p.sub(kT7, kT1, kT2);
+    // y0=s0+s1 ; y2=s0-s1 ; y1=2*d0+d1 ; y3=d0-2*d1
+    p.add(kT0, kT4, kT5);
+    p.sub(kT2, kT4, kT5);
+    p.sll(kS0, kT6, 1);
+    p.add(kT1, kS0, kT7);
+    p.sll(kS1, kT7, 1);
+    p.sub(kT3, kT6, kS1);
+    for (int i = 0; i < 4; ++i) p.sw(static_cast<Reg>(kT0 + i), kA2, off + 4 * i);
+  }
+  p.halt();
+  return p;
+}
+
+/// QuantCore: dead-zone quantization of one coefficient quad
+/// (multiply-shift per coefficient).
+Program quant_kernel() {
+  Program p;
+  p.lw(kT1, kA1, 0);         // reciprocal multiplier (shared)
+  for (int i = 0; i < 4; ++i) {
+    p.lw(kT0, kA0, 4 * i);   // coefficient
+    p.sra(kT7, kT0, 31);     // |coeff|
+    p.xor_(kT0, kT0, kT7);
+    p.sub(kT0, kT0, kT7);
+    p.mul(kT2, kT0, kT1);
+    p.sra(kT2, kT2, 16);     // scale back
+    p.xor_(kT2, kT2, kT7);   // restore sign
+    p.sub(kT2, kT2, kT7);
+    p.sw(kT2, kA2, 4 * i);
+  }
+  p.halt();
+  return p;
+}
+
+/// BytePack: gather 4 strided pixels into one packed word (Figure 3 input
+/// packing: the MC source block lives at stride kA1).
+Program bytepack_kernel() {
+  Program p;
+  p.li(kV0, 0);
+  p.move(kS0, kA0);
+  for (int i = 0; i < 4; ++i) {
+    p.lbu(kT0, kS0, 0);
+    p.sll(kT0, kT0, 8 * i);
+    p.or_(kV0, kV0, kT0);
+    if (i != 3) p.add(kS0, kS0, kA1);  // advance by stride
+  }
+  p.sw(kV0, kA2, 0);
+  p.halt();
+  return p;
+}
+
+void pointfilter_one(Program& p, int out);
+
+/// PointFilter: the 6-tap half-pel filter (1,-5,20,20,-5,1) producing three
+/// output pixels from a sliding window (Figure 3's central atom).
+Program pointfilter_kernel() {
+  Program p;
+  for (int out = 0; out < 3; ++out) {
+    pointfilter_one(p, out);
+  }
+  p.halt();
+  return p;
+}
+
+void pointfilter_one(Program& p, int out) {
+  for (int i = 0; i < 6; ++i) p.lbu(static_cast<Reg>(kT0 + i), kA0, out + i);
+  p.add(kV0, kT0, kT5);    // a + f
+  p.add(kT6, kT1, kT4);    // b + e
+  p.sll(kT7, kT6, 2);      // 4*(b+e)
+  p.add(kT6, kT6, kT7);    // 5*(b+e)
+  p.sub(kV0, kV0, kT6);    // a - 5b - 5e + f
+  p.add(kT6, kT2, kT3);    // c + d
+  p.sll(kT7, kT6, 4);      // 16*(c+d)
+  p.sll(kT6, kT6, 2);      // 4*(c+d)
+  p.add(kT6, kT6, kT7);    // 20*(c+d)
+  p.add(kV0, kV0, kT6);
+  p.addi(kV0, kV0, 16);    // rounding
+  p.sra(kV0, kV0, 5);
+  p.sb(kV0, kA2, out);
+}
+
+/// Clip3: clamp one value to [0,255], branch-free.
+Program clip3_kernel() {
+  Program p;
+  p.lw(kT0, kA0, 0);
+  p.sra(kT7, kT0, 31);     // all-ones when negative
+  p.li(kT6, -1);
+  p.xor_(kT5, kT7, kT6);   // ~mask
+  p.and_(kT0, kT0, kT5);   // negative -> 0
+  p.li(kT1, 255);
+  p.sub(kT2, kT1, kT0);    // 255 - v
+  p.sra(kT2, kT2, 31);     // all-ones when v > 255
+  p.or_(kT0, kT0, kT2);
+  p.andi(kT0, kT0, 255);   // v > 255 -> 255
+  p.sw(kT0, kA2, 0);
+  p.halt();
+  return p;
+}
+
+/// PredAvg: accumulate 4 neighbour pixels and average with rounding.
+Program predavg_kernel() {
+  Program p;
+  p.li(kV0, 0);
+  for (int i = 0; i < 4; ++i) {
+    p.lbu(kT0, kA0, i);
+    p.add(kV0, kV0, kT0);
+  }
+  p.addi(kV0, kV0, 2);
+  p.sra(kV0, kV0, 2);
+  p.sw(kV0, kA2, 0);
+  p.halt();
+  return p;
+}
+
+/// EdgeCond: the BS4 pixel-line condition |p0-q0|<a && |p1-p0|<b && |q1-q0|<b.
+Program edgecond_kernel() {
+  Program p;
+  p.lbu(kT1, kA0, 2);  // p0
+  p.lbu(kT2, kA0, 3);  // q0
+  p.sub(kT0, kT1, kT2);
+  emit_abs_t0(p);
+  p.slti(kV0, kT0, 40);
+  p.lbu(kT3, kA0, 1);  // p1
+  p.sub(kT0, kT3, kT1);
+  emit_abs_t0(p);
+  p.slti(kT3, kT0, 12);
+  p.and_(kV0, kV0, kT3);
+  p.lbu(kT4, kA0, 4);  // q1
+  p.sub(kT0, kT4, kT2);
+  emit_abs_t0(p);
+  p.slti(kT4, kT0, 12);
+  p.and_(kV0, kV0, kT4);
+  p.sw(kV0, kA2, 0);
+  p.halt();
+  return p;
+}
+
+/// FiltCore: the strong filter update of one pixel line (p1 p0 q0 q1 from
+/// p2..q2 with 3/8-tap averaging).
+Program filtcore_kernel() {
+  Program p;
+  for (int i = 0; i < 6; ++i) p.lbu(static_cast<Reg>(kT0 + i), kA0, i);  // p2..q2
+  // p0' = (p2 + 2p1 + 2p0 + 2q0 + q1 + 4) >> 3
+  p.add(kV0, kT1, kT2);
+  p.add(kV0, kV0, kT3);
+  p.sll(kV0, kV0, 1);
+  p.add(kV0, kV0, kT0);
+  p.add(kV0, kV0, kT4);
+  p.addi(kV0, kV0, 4);
+  p.sra(kV0, kV0, 3);
+  p.sb(kV0, kA2, 0);
+  // p1' = (p2 + p1 + p0 + q0 + 2) >> 2
+  p.add(kS0, kT0, kT1);
+  p.add(kS0, kS0, kT2);
+  p.add(kS0, kS0, kT3);
+  p.addi(kS0, kS0, 2);
+  p.sra(kS0, kS0, 2);
+  p.sb(kS0, kA2, 1);
+  // q0' = (q2 + 2q1 + 2q0 + 2p0 + p1 + 4) >> 3
+  p.add(kS1, kT4, kT3);
+  p.add(kS1, kS1, kT2);
+  p.sll(kS1, kS1, 1);
+  p.add(kS1, kS1, kT5);
+  p.add(kS1, kS1, kT1);
+  p.addi(kS1, kS1, 4);
+  p.sra(kS1, kS1, 3);
+  p.sb(kS1, kA2, 2);
+  // q1' = (q2 + q1 + q0 + p0 + 2) >> 2
+  p.add(kS2, kT5, kT4);
+  p.add(kS2, kS2, kT3);
+  p.add(kS2, kS2, kT2);
+  p.addi(kS2, kS2, 2);
+  p.sra(kS2, kS2, 2);
+  p.sb(kS2, kA2, 3);
+  p.halt();
+  return p;
+}
+
+}  // namespace
+
+Program build_emulation_kernel(const std::string& atom_type) {
+  Program p;
+  if (atom_type == h264sis::kSadRow) p = sad_row_kernel();
+  else if (atom_type == h264sis::kQSub) p = qsub_kernel();
+  else if (atom_type == h264sis::kHadCore) p = hadcore_kernel();
+  else if (atom_type == h264sis::kSav) p = sav_kernel();
+  else if (atom_type == h264sis::kRepack) p = repack_kernel();
+  else if (atom_type == h264sis::kTransformRow) p = transform_row_kernel();
+  else if (atom_type == h264sis::kQuantCore) p = quant_kernel();
+  else if (atom_type == h264sis::kBytePack) p = bytepack_kernel();
+  else if (atom_type == h264sis::kPointFilter) p = pointfilter_kernel();
+  else if (atom_type == h264sis::kClip3) p = clip3_kernel();
+  else if (atom_type == h264sis::kPredAvg) p = predavg_kernel();
+  else if (atom_type == h264sis::kEdgeCond) p = edgecond_kernel();
+  else if (atom_type == h264sis::kFiltCore) p = filtcore_kernel();
+  else RISPP_CHECK_MSG(false, "no emulation kernel for atom type " << atom_type);
+  p.finalize();
+  return p;
+}
+
+EmulationMeasurement measure_atom_emulation(const std::string& atom_type, Cycles table_cycles,
+                                            PipelineTiming timing) {
+  const Program program = build_emulation_kernel(atom_type);
+  Core core(0x1000, timing);
+  core.set_reg(kA0, kSrcA);
+  core.set_reg(kA1, atom_type == h264sis::kBytePack ? 16 : kSrcB);  // stride vs address
+  core.set_reg(kA2, kDst);
+  // Representative operands: a mild gradient and a shifted copy.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    core.store_byte(kSrcA + i, static_cast<std::uint8_t>(60 + 3 * i));
+    core.store_byte(kSrcB + i, static_cast<std::uint8_t>(55 + 3 * i));
+  }
+  const RunResult run = core.run(program);
+  RISPP_CHECK_MSG(run.halted, "emulation kernel for " << atom_type << " did not halt");
+  return EmulationMeasurement{atom_type, run.cycles, table_cycles, run.instructions};
+}
+
+std::vector<EmulationMeasurement> emulation_report(PipelineTiming timing) {
+  const SpecialInstructionSet set = h264sis::build_h264_si_set();
+  std::vector<EmulationMeasurement> report;
+  for (AtomTypeId t = 0; t < set.library().size(); ++t) {
+    const AtomType& type = set.library().type(t);
+    report.push_back(measure_atom_emulation(type.name, type.sw_op_cycles, timing));
+  }
+  return report;
+}
+
+}  // namespace rispp::cpu

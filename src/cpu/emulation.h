@@ -1,0 +1,41 @@
+// Trap-handler emulation kernels: one base-processor routine per atom type,
+// each performing the work of ONE atom operation.
+//
+// These are the bodies the synchronous SI exception executes when atoms are
+// not loaded (§3). Running them on the pipeline model grounds the atom
+// library's sw_op_cycles column: a test pins the measured cycle counts and
+// checks they sit within a small factor of the table (the table models the
+// prototype's hand-tuned handlers; these kernels are straightforward
+// register-level implementations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "cpu/core.h"
+
+namespace rispp::cpu {
+
+struct EmulationMeasurement {
+  std::string atom_type;
+  Cycles measured_cycles = 0;   // one op on the DLX pipeline
+  Cycles table_cycles = 0;      // the atom library's sw_op_cycles
+  std::uint64_t instructions = 0;
+};
+
+/// Builds the emulation kernel for `atom_type` ("SADRow", "QSub", ...).
+/// Throws for unknown types. The program expects its operands pre-staged in
+/// memory by measure_atom_emulation and halts when the op is done.
+Program build_emulation_kernel(const std::string& atom_type);
+
+/// Runs one op of `atom_type` on a fresh core with representative data and
+/// returns its cycle count (deterministic).
+EmulationMeasurement measure_atom_emulation(const std::string& atom_type,
+                                            Cycles table_cycles,
+                                            PipelineTiming timing = PipelineTiming::dlx());
+
+/// All thirteen H.264 atom types measured against the library's table.
+std::vector<EmulationMeasurement> emulation_report(PipelineTiming timing = PipelineTiming::dlx());
+
+}  // namespace rispp::cpu

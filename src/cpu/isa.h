@@ -1,0 +1,81 @@
+// A small DLX/MIPS-flavoured RISC ISA — the base processor of the prototype
+// (paper footnote 4: "for evaluation we are working with a DLX (MIPS) and a
+// Leon2 (SPARC V8) based prototype").
+//
+// The trap implementation of every Special Instruction executes on this
+// core; src/cpu/emulation.h holds the per-atom-op emulation kernels and
+// measures their cost on the pipeline model, validating the sw_op_cycles
+// column of the atom library.
+#pragma once
+
+#include <cstdint>
+
+namespace rispp::cpu {
+
+inline constexpr int kRegisterCount = 32;
+
+/// Register aliases (r0 is hardwired zero as on MIPS).
+enum Reg : std::uint8_t {
+  kZero = 0,
+  kA0 = 4,  // arguments
+  kA1 = 5,
+  kA2 = 6,
+  kA3 = 7,
+  kT0 = 8,  // temporaries
+  kT1 = 9,
+  kT2 = 10,
+  kT3 = 11,
+  kT4 = 12,
+  kT5 = 13,
+  kT6 = 14,
+  kT7 = 15,
+  kS0 = 16,  // saved
+  kS1 = 17,
+  kS2 = 18,
+  kS3 = 19,
+  kV0 = 2,  // return value
+  kRa = 31,
+};
+
+enum class Opcode : std::uint8_t {
+  // R-type: rd <- rs OP rt
+  kAdd, kSub, kMul, kAnd, kOr, kXor, kSlt,
+  // Shifts: rd <- rs OP imm
+  kSll, kSrl, kSra,
+  // I-type: rd <- rs OP imm
+  kAddi, kAndi, kOri, kSlti,
+  // Memory: rd/rt <-> mem[rs + imm]
+  kLw, kSw, kLbu, kSb,
+  // Control: branch to absolute instruction index imm
+  kBeq, kBne, kBltz, kBgez,
+  kJ, kJr,
+  kHalt,
+};
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;  // destination (or compared register for branches)
+  std::uint8_t rs = 0;  // first source / base / branch source
+  std::uint8_t rt = 0;  // second source / store data / branch source 2
+  std::int32_t imm = 0; // immediate / shift amount / branch target index
+};
+
+/// True for instructions that write `rd` from memory (load-use hazard).
+constexpr bool is_load(Opcode op) { return op == Opcode::kLw || op == Opcode::kLbu; }
+
+/// True for taken-control-flow candidates.
+constexpr bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBltz:
+    case Opcode::kBgez:
+    case Opcode::kJ:
+    case Opcode::kJr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rispp::cpu

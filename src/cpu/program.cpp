@@ -1,0 +1,35 @@
+#include "cpu/program.h"
+
+#include "base/check.h"
+
+namespace rispp::cpu {
+
+Program& Program::emit(Instruction inst) {
+  RISPP_CHECK_MSG(!finalized_, "program already finalized");
+  instructions_.push_back(inst);
+  return *this;
+}
+
+Program& Program::emit_branch(Instruction inst, const std::string& label) {
+  fixups_.emplace_back(instructions_.size(), label);
+  return emit(inst);
+}
+
+Program& Program::label(const std::string& name) {
+  RISPP_CHECK_MSG(!labels_.contains(name), "duplicate label " << name);
+  labels_[name] = static_cast<std::int32_t>(instructions_.size());
+  return *this;
+}
+
+void Program::finalize() {
+  RISPP_CHECK(!finalized_);
+  for (const auto& [index, name] : fixups_) {
+    const auto it = labels_.find(name);
+    RISPP_CHECK_MSG(it != labels_.end(), "undefined label " << name);
+    instructions_[index].imm = it->second;
+  }
+  fixups_.clear();
+  finalized_ = true;
+}
+
+}  // namespace rispp::cpu

@@ -1,0 +1,71 @@
+// Program construction with symbolic labels — a miniature assembler.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace rispp::cpu {
+
+class Program {
+ public:
+  // --- emission -------------------------------------------------------
+  Program& add(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kAdd, rd, rs, rt, 0}); }
+  Program& sub(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kSub, rd, rs, rt, 0}); }
+  Program& mul(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kMul, rd, rs, rt, 0}); }
+  Program& and_(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kAnd, rd, rs, rt, 0}); }
+  Program& or_(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kOr, rd, rs, rt, 0}); }
+  Program& xor_(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kXor, rd, rs, rt, 0}); }
+  Program& slt(Reg rd, Reg rs, Reg rt) { return emit({Opcode::kSlt, rd, rs, rt, 0}); }
+  Program& sll(Reg rd, Reg rs, int sh) { return emit({Opcode::kSll, rd, rs, 0, sh}); }
+  Program& srl(Reg rd, Reg rs, int sh) { return emit({Opcode::kSrl, rd, rs, 0, sh}); }
+  Program& sra(Reg rd, Reg rs, int sh) { return emit({Opcode::kSra, rd, rs, 0, sh}); }
+  Program& addi(Reg rd, Reg rs, int imm) { return emit({Opcode::kAddi, rd, rs, 0, imm}); }
+  Program& andi(Reg rd, Reg rs, int imm) { return emit({Opcode::kAndi, rd, rs, 0, imm}); }
+  Program& ori(Reg rd, Reg rs, int imm) { return emit({Opcode::kOri, rd, rs, 0, imm}); }
+  Program& slti(Reg rd, Reg rs, int imm) { return emit({Opcode::kSlti, rd, rs, 0, imm}); }
+  Program& li(Reg rd, int imm) { return addi(rd, kZero, imm); }
+  Program& move(Reg rd, Reg rs) { return add(rd, rs, kZero); }
+  Program& lw(Reg rd, Reg base, int off) { return emit({Opcode::kLw, rd, base, 0, off}); }
+  Program& sw(Reg rt, Reg base, int off) { return emit({Opcode::kSw, 0, base, rt, off}); }
+  Program& lbu(Reg rd, Reg base, int off) { return emit({Opcode::kLbu, rd, base, 0, off}); }
+  Program& sb(Reg rt, Reg base, int off) { return emit({Opcode::kSb, 0, base, rt, off}); }
+  Program& beq(Reg rs, Reg rt, const std::string& label) {
+    return emit_branch({Opcode::kBeq, 0, rs, rt, 0}, label);
+  }
+  Program& bne(Reg rs, Reg rt, const std::string& label) {
+    return emit_branch({Opcode::kBne, 0, rs, rt, 0}, label);
+  }
+  Program& bltz(Reg rs, const std::string& label) {
+    return emit_branch({Opcode::kBltz, 0, rs, 0, 0}, label);
+  }
+  Program& bgez(Reg rs, const std::string& label) {
+    return emit_branch({Opcode::kBgez, 0, rs, 0, 0}, label);
+  }
+  Program& j(const std::string& label) { return emit_branch({Opcode::kJ, 0, 0, 0, 0}, label); }
+  Program& jr(Reg rs) { return emit({Opcode::kJr, 0, rs, 0, 0}); }
+  Program& halt() { return emit({Opcode::kHalt, 0, 0, 0, 0}); }
+
+  /// Binds `name` to the next emitted instruction.
+  Program& label(const std::string& name);
+
+  /// Resolves all label references; throws on unknown labels.
+  /// Must be called before execution.
+  void finalize();
+
+  const std::vector<Instruction>& instructions() const { return instructions_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  Program& emit(Instruction inst);
+  Program& emit_branch(Instruction inst, const std::string& label);
+
+  std::vector<Instruction> instructions_;
+  std::unordered_map<std::string, std::int32_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+  bool finalized_ = false;
+};
+
+}  // namespace rispp::cpu

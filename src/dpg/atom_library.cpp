@@ -1,0 +1,26 @@
+#include "dpg/atom_library.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+AtomTypeId AtomLibrary::add(AtomType type) {
+  RISPP_CHECK_MSG(!find(type.name).has_value(), "duplicate atom type " << type.name);
+  RISPP_CHECK(type.op_latency > 0);
+  RISPP_CHECK(type.sw_op_cycles > 0);
+  types_.push_back(std::move(type));
+  return static_cast<AtomTypeId>(types_.size() - 1);
+}
+
+const AtomType& AtomLibrary::type(AtomTypeId id) const {
+  RISPP_CHECK(id < types_.size());
+  return types_[id];
+}
+
+std::optional<AtomTypeId> AtomLibrary::find(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == name) return static_cast<AtomTypeId>(i);
+  return std::nullopt;
+}
+
+}  // namespace rispp

@@ -1,0 +1,46 @@
+// Global library of atom *types* — the reloadable elementary data paths
+// (§3: "Atom: an elementary data path; can be re-loaded at run time").
+//
+// Every Molecule vector in the platform is indexed against one AtomLibrary,
+// so AtomTypeId is a dense index into this table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rispp {
+
+struct AtomType {
+  std::string name;
+
+  /// Cycles one operation takes on the hardware atom (pipeline initiation
+  /// interval; the Figure 3 PointFilter is a short multi-adder tree).
+  Cycles op_latency = 1;
+
+  /// Cycles the base processor needs to emulate one operation of this atom
+  /// with its general-purpose instruction set (drives the trap latency).
+  Cycles sw_op_cycles = 16;
+
+  /// FPGA slice count — an area proxy used by the bitstream-size model
+  /// (paper: average atom is 421 slices / 60,488-byte partial bitstream).
+  unsigned slices = 421;
+};
+
+class AtomLibrary {
+ public:
+  /// Registers a type; names must be unique.
+  AtomTypeId add(AtomType type);
+
+  const AtomType& type(AtomTypeId id) const;
+  std::size_t size() const { return types_.size(); }
+
+  std::optional<AtomTypeId> find(const std::string& name) const;
+
+ private:
+  std::vector<AtomType> types_;
+};
+
+}  // namespace rispp

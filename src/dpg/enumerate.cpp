@@ -1,0 +1,67 @@
+#include "dpg/enumerate.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "dpg/list_scheduler.h"
+
+namespace rispp {
+
+std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
+                                              const EnumerationOptions& options) {
+  const Molecule occ = graph.occurrences();
+  const std::size_t dim = occ.dimension();
+
+  // Effective cap per type: explicit cap, bounded by occurrences (more
+  // instances than occurrences can never help the list scheduler).
+  Molecule cap(dim);
+  std::vector<std::size_t> used_types;
+  for (std::size_t t = 0; t < dim; ++t) {
+    if (occ[t] == 0) continue;
+    AtomCount c = occ[t];
+    if (options.instance_caps.dimension() == dim && options.instance_caps[t] != 0)
+      c = std::min<AtomCount>(c, options.instance_caps[t]);
+    cap[t] = c;
+    used_types.push_back(t);
+  }
+  RISPP_CHECK_MSG(!used_types.empty(), "SI graph uses no atoms");
+
+  // Enumerate the full grid 1..cap_t per used type.
+  std::vector<MoleculeImpl> all;
+  Molecule current(dim);
+  for (std::size_t t : used_types) current[t] = 1;
+  for (;;) {
+    all.push_back(MoleculeImpl{current, molecule_latency(graph, current)});
+    // Odometer increment over used types.
+    std::size_t k = 0;
+    for (; k < used_types.size(); ++k) {
+      const std::size_t t = used_types[k];
+      if (current[t] < cap[t]) {
+        ++current[t];
+        break;
+      }
+      current[t] = 1;
+    }
+    if (k == used_types.size()) break;
+  }
+
+  // Design-time cleaning: drop m if a strictly smaller m' offers latency <= m.
+  std::vector<MoleculeImpl> kept;
+  for (const MoleculeImpl& m : all) {
+    const bool dominated = std::any_of(all.begin(), all.end(), [&](const MoleculeImpl& o) {
+      return o.atoms != m.atoms && leq(o.atoms, m.atoms) && o.latency <= m.latency;
+    });
+    if (!dominated) kept.push_back(m);
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const MoleculeImpl& a, const MoleculeImpl& b) {
+    const unsigned da = a.atoms.determinant(), db = b.atoms.determinant();
+    if (da != db) return da < db;
+    if (a.latency != b.latency) return a.latency < b.latency;
+    return std::lexicographical_compare(a.atoms.counts().begin(), a.atoms.counts().end(),
+                                        b.atoms.counts().begin(), b.atoms.counts().end());
+  });
+  return kept;
+}
+
+}  // namespace rispp

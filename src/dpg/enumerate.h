@@ -1,0 +1,40 @@
+// Enumeration of an SI's Molecule set from its data-path graph.
+//
+// Candidates are all instance vectors m with 1 <= m_t <= cap_t for every atom
+// type the graph uses (a hardware Molecule needs at least one instance of
+// each used type; the trap implementation is the separate "software
+// molecule"). Each candidate's latency comes from the list scheduler.
+//
+// Dominated candidates are removed at *design time*: m is dropped iff there
+// is a strictly smaller m' <= m with latency(m') <= latency(m) — more atoms
+// for no gain. Incomparable molecules are all kept even when one of them has
+// a worse latency (the paper's m4=(1,3) vs m2=(2,2) discussion): whether m4
+// is useful depends on the atoms already loaded, which is only known at run
+// time, so eq. (4) cleans them there instead.
+#pragma once
+
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+#include "dpg/graph.h"
+
+namespace rispp {
+
+struct MoleculeImpl {
+  Molecule atoms;   // instance counts, global atom-type dimension
+  Cycles latency;   // one SI execution with these instances
+};
+
+struct EnumerationOptions {
+  /// Per-type instance cap; zero entries mean "use the occurrence count".
+  /// Caps bound the hardware the Molecule selection may ever pick.
+  Molecule instance_caps;
+};
+
+/// Returns the Pareto-cleaned molecule list, sorted by ascending determinant
+/// and, within equal determinant, ascending latency.
+std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
+                                              const EnumerationOptions& options);
+
+}  // namespace rispp

@@ -1,0 +1,59 @@
+#include "dpg/graph.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace rispp {
+
+DataPathGraph::DataPathGraph(const AtomLibrary* library) : library_(library) {
+  RISPP_CHECK(library != nullptr);
+}
+
+NodeId DataPathGraph::add_node(AtomTypeId type, std::vector<NodeId> preds) {
+  RISPP_CHECK(type < library_->size());
+  const auto id = static_cast<NodeId>(nodes_.size());
+  for (NodeId p : preds) RISPP_CHECK_MSG(p < id, "predecessor " << p << " not yet added");
+  nodes_.push_back(DpgNode{type, std::move(preds)});
+  return id;
+}
+
+std::vector<NodeId> DataPathGraph::add_layer(AtomTypeId type, unsigned count,
+                                             std::span<const NodeId> preds) {
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    ids.push_back(add_node(type, {preds.begin(), preds.end()}));
+  return ids;
+}
+
+const DpgNode& DataPathGraph::node(NodeId id) const {
+  RISPP_CHECK(id < nodes_.size());
+  return nodes_[id];
+}
+
+Molecule DataPathGraph::occurrences() const {
+  Molecule occ(library_->size());
+  for (const DpgNode& n : nodes_) ++occ[n.type];
+  return occ;
+}
+
+Cycles DataPathGraph::software_cycles() const {
+  Cycles total = 0;
+  for (const DpgNode& n : nodes_) total += library_->type(n.type).sw_op_cycles;
+  return total;
+}
+
+Cycles DataPathGraph::critical_path() const {
+  std::vector<Cycles> finish(nodes_.size(), 0);
+  Cycles best = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Cycles start = 0;
+    for (NodeId p : nodes_[id].preds) start = std::max(start, finish[p]);
+    finish[id] = start + library_->type(nodes_[id].type).op_latency;
+    best = std::max(best, finish[id]);
+  }
+  return best;
+}
+
+}  // namespace rispp

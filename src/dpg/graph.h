@@ -1,0 +1,63 @@
+// Data-path graph of one Special Instruction.
+//
+// An SI body is a DAG whose nodes are atom *occurrences* (Figure 3 shows the
+// Motion Compensation SI: BytePack, PointFilter and Clip3 occurrences wired
+// together). A Molecule assigns an instance count to each atom type; the
+// list scheduler (list_scheduler.h) then computes the SI latency under that
+// resource constraint. With one instance per type the occurrences of that
+// type are serialized onto the single instance ("reusing the single
+// Atom-instance for all occurrences of its type"); with one instance per
+// occurrence the full Molecule-level parallelism is exploited.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+#include "dpg/atom_library.h"
+
+namespace rispp {
+
+using NodeId = std::uint32_t;
+
+struct DpgNode {
+  AtomTypeId type;
+  std::vector<NodeId> preds;  // all < own id, so the graph is acyclic by construction
+};
+
+class DataPathGraph {
+ public:
+  explicit DataPathGraph(const AtomLibrary* library);
+
+  /// Adds an occurrence of `type` depending on `preds` (each already added).
+  NodeId add_node(AtomTypeId type, std::vector<NodeId> preds = {});
+
+  /// Convenience: a layer of `count` independent occurrences, each depending
+  /// on all of `preds`. Returns the new node ids.
+  std::vector<NodeId> add_layer(AtomTypeId type, unsigned count,
+                                std::span<const NodeId> preds = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const DpgNode& node(NodeId id) const;
+  const AtomLibrary& library() const { return *library_; }
+
+  /// Occurrence vector: how many nodes of each atom type the graph contains.
+  /// This is the natural upper bound for Molecule instance counts.
+  Molecule occurrences() const;
+
+  /// Total base-processor cycles to execute every occurrence sequentially
+  /// with general-purpose instructions (the trap implementation body).
+  Cycles software_cycles() const;
+
+  /// Length of the longest latency-weighted path (the resource-unconstrained
+  /// lower bound on any molecule latency).
+  Cycles critical_path() const;
+
+ private:
+  const AtomLibrary* library_;
+  std::vector<DpgNode> nodes_;
+};
+
+}  // namespace rispp

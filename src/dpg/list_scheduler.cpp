@@ -1,0 +1,95 @@
+#include "dpg/list_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/check.h"
+
+namespace rispp {
+namespace {
+
+/// Remaining critical path from each node to any sink (node latency included).
+std::vector<Cycles> downward_rank(const DataPathGraph& graph) {
+  const auto n = static_cast<NodeId>(graph.node_count());
+  std::vector<std::vector<NodeId>> succs(n);
+  for (NodeId id = 0; id < n; ++id)
+    for (NodeId p : graph.node(id).preds) succs[p].push_back(id);
+
+  std::vector<Cycles> rank(n, 0);
+  for (NodeId id = n; id-- > 0;) {
+    Cycles best = 0;
+    for (NodeId s : succs[id]) best = std::max(best, rank[s]);
+    rank[id] = best + graph.library().type(graph.node(id).type).op_latency;
+  }
+  return rank;
+}
+
+}  // namespace
+
+ListScheduleResult list_schedule(const DataPathGraph& graph, const Molecule& instances) {
+  RISPP_CHECK(instances.dimension() == graph.library().size());
+  const Molecule occ = graph.occurrences();
+  for (std::size_t t = 0; t < occ.dimension(); ++t)
+    RISPP_CHECK_MSG(occ[t] == 0 || instances[t] >= 1,
+                    "atom type " << t << " used by graph but has no instance");
+
+  const auto n = static_cast<NodeId>(graph.node_count());
+  ListScheduleResult result;
+  result.start.assign(n, 0);
+  if (n == 0) return result;
+
+  const std::vector<Cycles> rank = downward_rank(graph);
+
+  // earliest[i]: max finish time over predecessors (data-ready time).
+  std::vector<Cycles> earliest(n, 0);
+  std::vector<unsigned> missing_preds(n, 0);
+  std::vector<std::vector<NodeId>> succs(n);
+  for (NodeId id = 0; id < n; ++id) {
+    missing_preds[id] = static_cast<unsigned>(graph.node(id).preds.size());
+    for (NodeId p : graph.node(id).preds) succs[p].push_back(id);
+  }
+
+  // Per atom type: min-heap of instance-free times.
+  std::vector<std::vector<Cycles>> instance_free(instances.dimension());
+  for (std::size_t t = 0; t < instances.dimension(); ++t)
+    if (occ[t] > 0) instance_free[t].assign(instances[t], 0);
+
+  // Ready queue ordered by (higher rank first, then node id for determinism).
+  auto cmp = [&](NodeId a, NodeId b) {
+    if (rank[a] != rank[b]) return rank[a] < rank[b];  // max-heap on rank
+    return a > b;
+  };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(cmp)> ready(cmp);
+  for (NodeId id = 0; id < n; ++id)
+    if (missing_preds[id] == 0) ready.push(id);
+
+  Cycles makespan = 0;
+  unsigned scheduled = 0;
+  while (!ready.empty()) {
+    const NodeId id = ready.top();
+    ready.pop();
+    const AtomTypeId t = graph.node(id).type;
+    auto& frees = instance_free[t];
+    // Pick the instance that frees earliest.
+    auto it = std::min_element(frees.begin(), frees.end());
+    const Cycles start = std::max(*it, earliest[id]);
+    const Cycles lat = graph.library().type(t).op_latency;
+    *it = start + lat;
+    result.start[id] = start;
+    makespan = std::max(makespan, start + lat);
+    ++scheduled;
+    for (NodeId s : succs[id]) {
+      earliest[s] = std::max(earliest[s], start + lat);
+      if (--missing_preds[s] == 0) ready.push(s);
+    }
+  }
+  RISPP_CHECK_MSG(scheduled == n, "graph has unreachable nodes (cycle?)");
+  result.makespan = makespan;
+  return result;
+}
+
+Cycles molecule_latency(const DataPathGraph& graph, const Molecule& instances) {
+  return list_schedule(graph, instances).makespan;
+}
+
+}  // namespace rispp

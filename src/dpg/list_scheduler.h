@@ -1,0 +1,39 @@
+// Resource-constrained list scheduling of an SI data-path graph.
+//
+// Given a Molecule (instance counts per atom type) the scheduler computes the
+// number of cycles one SI execution takes when every atom type t owns m_t
+// physical instances. This *derives* the latency column of every Molecule in
+// the platform instead of hand-assigning numbers, and reproduces the paper's
+// two parallelism levels:
+//   * Atom-level parallelism  — inside one atom (its op_latency is short
+//     because the data path is wide), fixed at design time;
+//   * Molecule-level parallelism — more instances of a type lower the
+//     makespan, chosen at run time.
+//
+// Classic longest-path-priority list scheduling: ready nodes are started on
+// free instances in order of decreasing remaining critical path. The result
+// is deterministic for identical inputs.
+#pragma once
+
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+#include "dpg/graph.h"
+
+namespace rispp {
+
+struct ListScheduleResult {
+  Cycles makespan = 0;
+  /// start[i] = cycle node i begins; useful for tests and visualization.
+  std::vector<Cycles> start;
+};
+
+/// Schedules `graph` with the instance counts in `instances`.
+/// Requires instances[t] >= 1 for every atom type the graph uses.
+ListScheduleResult list_schedule(const DataPathGraph& graph, const Molecule& instances);
+
+/// Convenience: just the makespan.
+Cycles molecule_latency(const DataPathGraph& graph, const Molecule& instances);
+
+}  // namespace rispp

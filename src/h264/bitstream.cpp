@@ -1,0 +1,45 @@
+#include "h264/bitstream.h"
+
+#include "base/check.h"
+
+namespace rispp::h264 {
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  RISPP_CHECK(count >= 0 && count <= 32);
+  for (int i = count - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1u;
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+    if (++filled_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+  bit_count_ += static_cast<std::size_t>(count);
+}
+
+void BitWriter::align() {
+  while (filled_ != 0) put_bit(false);
+}
+
+std::vector<std::uint8_t> BitWriter::bytes() const {
+  std::vector<std::uint8_t> out = bytes_;
+  if (filled_ != 0)
+    out.push_back(static_cast<std::uint8_t>(current_ << (8 - filled_)));
+  return out;
+}
+
+std::uint32_t BitReader::get_bits(int count) {
+  RISPP_CHECK(count >= 0 && count <= 32);
+  std::uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    RISPP_CHECK_MSG(position_ < bytes_.size() * 8, "bitstream exhausted");
+    const std::size_t byte = position_ / 8;
+    const int bit = 7 - static_cast<int>(position_ % 8);
+    value = (value << 1) | ((bytes_[byte] >> bit) & 1u);
+    ++position_;
+  }
+  return value;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,45 @@
+// Bit-level I/O for the entropy coder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rispp::h264 {
+
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, MSB first.
+  void put_bits(std::uint32_t value, int count);
+  void put_bit(bool bit) { put_bits(bit ? 1 : 0, 1); }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align();
+
+  std::size_t bit_count() const { return bit_count_; }
+  /// Byte view (aligned with zero padding).
+  std::vector<std::uint8_t> bytes() const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;  // bits in current_
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  /// Reads `count` bits MSB first; throws past the end.
+  std::uint32_t get_bits(int count);
+  bool get_bit() { return get_bits(1) != 0; }
+
+  std::size_t bits_consumed() const { return position_; }
+  bool exhausted() const { return position_ >= bytes_.size() * 8; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace rispp::h264

@@ -1,0 +1,68 @@
+#include "h264/deblock.h"
+
+#include <cstdlib>
+
+namespace rispp::h264 {
+namespace {
+
+struct Line {
+  int p2, p1, p0, q0, q1, q2;
+};
+
+/// H.264 strong (BS4) luma filter for one pixel line; returns the filtered
+/// values of p1 p0 q0 q1 (3-tap/5-tap averaging per the standard's
+/// simplified form).
+bool filter_line(Line& l, const DeblockThresholds& th) {
+  if (std::abs(l.p0 - l.q0) >= th.alpha) return false;
+  if (std::abs(l.p1 - l.p0) >= th.beta) return false;
+  if (std::abs(l.q1 - l.q0) >= th.beta) return false;
+  const int p0 = (l.p2 + 2 * l.p1 + 2 * l.p0 + 2 * l.q0 + l.q1 + 4) >> 3;
+  const int p1 = (l.p2 + l.p1 + l.p0 + l.q0 + 2) >> 2;
+  const int q0 = (l.q2 + 2 * l.q1 + 2 * l.q0 + 2 * l.p0 + l.p1 + 4) >> 3;
+  const int q1 = (l.q2 + l.q1 + l.q0 + l.p0 + 2) >> 2;
+  l.p0 = p0;
+  l.p1 = p1;
+  l.q0 = q0;
+  l.q1 = q1;
+  return true;
+}
+
+}  // namespace
+
+int deblock_bs4_vertical(Plane& plane, int edge_px_x, int row_px_y,
+                         const DeblockThresholds& th) {
+  if (edge_px_x < 3 || edge_px_x + 2 >= plane.width()) return 0;
+  int filtered = 0;
+  for (int dy = 0; dy < 16 && row_px_y + dy < plane.height(); ++dy) {
+    const int y = row_px_y + dy;
+    Line l{plane.at(edge_px_x - 3, y), plane.at(edge_px_x - 2, y), plane.at(edge_px_x - 1, y),
+           plane.at(edge_px_x, y), plane.at(edge_px_x + 1, y), plane.at(edge_px_x + 2, y)};
+    if (!filter_line(l, th)) continue;
+    plane.at(edge_px_x - 2, y) = clip_pixel(l.p1);
+    plane.at(edge_px_x - 1, y) = clip_pixel(l.p0);
+    plane.at(edge_px_x, y) = clip_pixel(l.q0);
+    plane.at(edge_px_x + 1, y) = clip_pixel(l.q1);
+    ++filtered;
+  }
+  return filtered;
+}
+
+int deblock_bs4_horizontal(Plane& plane, int col_px_x, int edge_px_y,
+                           const DeblockThresholds& th) {
+  if (edge_px_y < 3 || edge_px_y + 2 >= plane.height()) return 0;
+  int filtered = 0;
+  for (int dx = 0; dx < 16 && col_px_x + dx < plane.width(); ++dx) {
+    const int x = col_px_x + dx;
+    Line l{plane.at(x, edge_px_y - 3), plane.at(x, edge_px_y - 2), plane.at(x, edge_px_y - 1),
+           plane.at(x, edge_px_y), plane.at(x, edge_px_y + 1), plane.at(x, edge_px_y + 2)};
+    if (!filter_line(l, th)) continue;
+    plane.at(x, edge_px_y - 2) = clip_pixel(l.p1);
+    plane.at(x, edge_px_y - 1) = clip_pixel(l.p0);
+    plane.at(x, edge_px_y) = clip_pixel(l.q0);
+    plane.at(x, edge_px_y + 1) = clip_pixel(l.q1);
+    ++filtered;
+  }
+  return filtered;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,26 @@
+// In-loop deblocking, boundary-strength-4 path — the LF_BS4 Special
+// Instruction. BS4 (strong filtering) applies on macroblock edges where at
+// least one side is intra coded; the per-pixel-line activity condition
+// (|p0-q0| < alpha etc.) gates the actual filtering.
+#pragma once
+
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+struct DeblockThresholds {
+  int alpha = 40;  // edge activity threshold
+  int beta = 12;   // side flatness threshold
+};
+
+/// Strong-filters the vertical MB edge at x = edge_px_x (columns left:
+/// p2 p1 p0 | q0 q1 q2) for 16 rows starting at row_px_y. Returns how many
+/// pixel lines were actually filtered (the condition held).
+int deblock_bs4_vertical(Plane& plane, int edge_px_x, int row_px_y,
+                         const DeblockThresholds& thresholds);
+
+/// Same for the horizontal MB edge at y = edge_px_y.
+int deblock_bs4_horizontal(Plane& plane, int col_px_x, int edge_px_y,
+                           const DeblockThresholds& thresholds);
+
+}  // namespace rispp::h264

@@ -1,0 +1,29 @@
+// Luma decoder for the encoder's entropy stream — the proof that the
+// bitstream is self-contained: decoding (prediction, residual
+// reconstruction AND the in-loop deblocking pass) must reproduce the
+// encoder's luma reconstruction *bit-exactly*, frame after frame
+// (drift-free closed loop), which the round-trip tests assert. Chroma uses
+// the simplified DC model and is not entropy-coded, so the decoder covers
+// luma.
+#pragma once
+
+#include "h264/bitstream.h"
+#include "h264/encoder.h"
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+struct DecodedFrame {
+  Plane luma;
+  int intra_mbs = 0;
+  int inter_mbs = 0;
+};
+
+/// Decodes one frame's luma from `reader` against the previous
+/// reconstruction `ref_luma` (ignored for all-intra frames), including the
+/// in-loop deblocking pass. `config` must match the encoder's (qp, deblock
+/// thresholds, strong-edge gate); dimensions come from `ref_luma`.
+DecodedFrame decode_frame_luma(BitReader& reader, const Plane& ref_luma,
+                               const EncoderConfig& config);
+
+}  // namespace rispp::h264

@@ -1,0 +1,224 @@
+#include "h264/encoder.h"
+
+#include <cstdlib>
+
+#include "base/check.h"
+#include "h264/intra.h"
+#include "h264/kernels.h"
+#include "h264/quant.h"
+#include "h264/transform.h"
+
+namespace rispp::h264 {
+
+Encoder::Encoder(const EncoderConfig& config, int width, int height, const H264SiIds& ids)
+    : config_(config), ids_(ids), recon_(width, height), ref_(width, height) {
+  RISPP_CHECK(width % kMbSize == 0 && height % kMbSize == 0);
+  const int mbs = (width / kMbSize) * (height / kMbSize);
+  mv_field_.resize(mbs);
+  coded_mv_.resize(mbs);
+  decisions_.resize(mbs);
+}
+
+int Encoder::code_mb_luma(const Frame& input, int px, int py, const Pixel pred[16 * 16]) {
+  int activity = 0;
+  for (int by = 0; by < 16; by += 4) {
+    for (int bx = 0; bx < 16; bx += 4) {
+      int resid[16], coeff[16], level[16], deq[16], rec[16];
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+          resid[y * 4 + x] = static_cast<int>(input.y.at(px + bx + x, py + by + y)) -
+                             static_cast<int>(pred[(by + y) * 16 + bx + x]);
+      dct4x4(resid, coeff);
+      quantize_block(coeff, level, config_.qp);
+      encode_residual_block(frame_bits_, level);
+      for (int i = 0; i < 16; ++i) activity += std::abs(level[i]);
+      dequantize_block(level, deq, config_.qp);
+      idct4x4(deq, rec);
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) {
+          const int value = static_cast<int>(pred[(by + y) * 16 + bx + x]) +
+                            descale_idct(rec[y * 4 + x]);
+          recon_.y.at(px + bx + x, py + by + y) = clip_pixel(value);
+        }
+    }
+  }
+  return activity;
+}
+
+void Encoder::code_mb_chroma(const Frame& input, int px, int py) {
+  // Chroma model: DC-only coding per 4x4 (the HT 2x2 path dominates); AC is
+  // carried through unquantized — enough realism for the workload while
+  // keeping chroma out of the critical calibration path.
+  const int cx = px / 2, cy = py / 2;
+  for (const Plane* src : {&input.cb, &input.cr}) {
+    Plane& dst = src == &input.cb ? recon_.cb : recon_.cr;
+    int dc[4];
+    int k = 0;
+    for (int by = 0; by < 8; by += 4)
+      for (int bx = 0; bx < 8; bx += 4) {
+        int sum = 0;
+        for (int y = 0; y < 4; ++y)
+          for (int x = 0; x < 4; ++x) sum += src->at(cx + bx + x, cy + by + y);
+        dc[k++] = sum / 16;
+      }
+    int ht[4];
+    hadamard2x2(dc, ht);
+    for (int i = 0; i < 4; ++i) ht[i] = dequantize(quantize(ht[i], config_.qp), config_.qp);
+    int rec_dc[4];
+    hadamard2x2(ht, rec_dc);  // involution up to factor 4
+    k = 0;
+    for (int by = 0; by < 8; by += 4)
+      for (int bx = 0; bx < 8; bx += 4) {
+        const int mean = rec_dc[k] / 4;
+        ++k;
+        for (int y = 0; y < 4; ++y)
+          for (int x = 0; x < 4; ++x) {
+            const int ac = static_cast<int>(src->at(cx + bx + x, cy + by + y)) -
+                           static_cast<int>(src->at(cx + bx, cy + by));
+            dst.at(cx + bx + x, cy + by + y) = clip_pixel(mean + ac);
+          }
+      }
+  }
+}
+
+FrameResult Encoder::encode_frame(const Frame& input, FrameSiTrace* trace) {
+  RISPP_CHECK(input.width() == recon_.width() && input.height() == recon_.height());
+  const bool intra_frame = frame_ == 0;
+  const int mbs_x = input.mbs_x();
+  const int mbs_y = input.mbs_y();
+  FrameResult result;
+  frame_bits_ = BitWriter();
+
+  auto record = [&](std::vector<SiId>* list, SiId si) {
+    if (list != nullptr) list->push_back(si);
+  };
+
+  // ---- Motion Estimation hot spot -------------------------------------
+  inter_cost_scratch_.assign(mv_field_.size(), 0);
+  if (!intra_frame) {
+    for (int my = 0; my < mbs_y; ++my) {
+      for (int mx = 0; mx < mbs_x; ++mx) {
+        const int mb = my * mbs_x + mx;
+        // MV prediction: left neighbour, else top, else zero.
+        MotionVector pred;
+        if (mx > 0) pred = mv_field_[mb - 1];
+        else if (my > 0) pred = mv_field_[mb - mbs_x];
+        KernelHook hook;
+        if (trace != nullptr)
+          hook = [&](bool is_satd) { trace->me.push_back(is_satd ? ids_.satd : ids_.sad); };
+        const MotionSearchResult sr = motion_search_16x16(
+            input.y, ref_.y, mx * kMbSize, my * kMbSize, pred, config_.search, hook);
+        mv_field_[mb] = sr.mv;
+        decisions_[mb].mv = sr.mv;
+        decisions_[mb].intra = false;
+        inter_cost_scratch_[mb] = sr.satd;  // EE mode decision input
+      }
+    }
+  }
+
+  // ---- Encoding Engine hot spot ----------------------------------------
+  for (int my = 0; my < mbs_y; ++my) {
+    for (int mx = 0; mx < mbs_x; ++mx) {
+      const int mb = my * mbs_x + mx;
+      const int px = mx * kMbSize, py = my * kMbSize;
+
+      // Intra candidates: horizontal and vertical DC prediction from the
+      // in-progress reconstruction.
+      Pixel pred_h[16 * 16], pred_v[16 * 16];
+      ipred_hdc_16x16(recon_.y, px, py, pred_h);
+      record(trace ? &trace->ee : nullptr, ids_.ipred_hdc);
+      ipred_vdc_16x16(recon_.y, px, py, pred_v);
+      record(trace ? &trace->ee : nullptr, ids_.ipred_vdc);
+      const std::uint32_t cost_h = satd_16x16_pred(input.y, px, py, pred_h);
+      const std::uint32_t cost_v = satd_16x16_pred(input.y, px, py, pred_v);
+      const Pixel* intra_pred = cost_h <= cost_v ? pred_h : pred_v;
+      const std::uint32_t intra_cost = cost_h <= cost_v ? cost_h : cost_v;
+
+      bool use_intra = intra_frame;
+      if (!intra_frame) {
+        const std::uint32_t inter_cost = inter_cost_scratch_[mb];
+        use_intra = intra_cost * 8 < inter_cost * static_cast<std::uint32_t>(config_.intra_bias_num);
+      }
+      decisions_[mb].intra = use_intra;
+      coded_mv_[mb] = use_intra ? MotionVector{} : decisions_[mb].mv;
+
+      // MB header: mode flag plus, for inter MBs, the differential MV.
+      frame_bits_.put_bit(use_intra);
+      Pixel prediction[16 * 16];
+      if (use_intra) {
+        frame_bits_.put_bit(cost_h <= cost_v);  // HDC vs VDC choice
+        for (int i = 0; i < 16 * 16; ++i) prediction[i] = intra_pred[i];
+        ++result.intra_mbs;
+      } else {
+        // The MV predictor must be decodable: left (else top) neighbour's
+        // *coded* MV, which is zero for intra MBs.
+        MotionVector pred_mv;
+        if (mx > 0) pred_mv = coded_mv_[mb - 1];
+        else if (my > 0) pred_mv = coded_mv_[mb - mbs_x];
+        write_se(frame_bits_, decisions_[mb].mv.x - pred_mv.x);
+        write_se(frame_bits_, decisions_[mb].mv.y - pred_mv.y);
+        motion_compensate_16x16(ref_.y, px, py, decisions_[mb].mv, prediction);
+        // The MC 4 SI covers one 8x8 quarter (Table 1 names it after its 4x4
+        // sub-block granularity): four executions per inter MB.
+        for (int q = 0; q < 4; ++q) record(trace ? &trace->ee : nullptr, ids_.mc);
+        ++result.inter_mbs;
+      }
+
+      const int activity = code_mb_luma(input, px, py, prediction);
+      // (I)DCT runs per 8x8 region: four luma quarters plus one chroma pass.
+      for (int q = 0; q < 5; ++q) record(trace ? &trace->ee : nullptr, ids_.dct);
+
+      if (use_intra) {
+        // Intra16x16: extra Hadamard pass over the luma DC coefficients.
+        record(trace ? &trace->ee : nullptr, ids_.ht4x4);
+      }
+      code_mb_chroma(input, px, py);
+      record(trace ? &trace->ee : nullptr, ids_.ht2x2);  // chroma DC Hadamard
+      (void)activity;
+    }
+  }
+
+  // ---- Loop Filter hot spot ---------------------------------------------
+  for (int my = 0; my < mbs_y; ++my) {
+    for (int mx = 0; mx < mbs_x; ++mx) {
+      const int mb = my * mbs_x + mx;
+      const int px = mx * kMbSize, py = my * kMbSize;
+
+      auto strong_edge_v = [&]() {
+        if (mx == 0) return false;
+        if (decisions_[mb].intra || decisions_[mb - 1].intra) return true;
+        // Blockiness: mean gradient across the edge.
+        int grad = 0;
+        for (int y = 0; y < 16; ++y)
+          grad += std::abs(recon_.y.at(px, py + y) - recon_.y.at(px - 1, py + y));
+        return grad / 16 >= config_.strong_edge_threshold;
+      };
+      auto strong_edge_h = [&]() {
+        if (my == 0) return false;
+        if (decisions_[mb].intra || decisions_[mb - mbs_x].intra) return true;
+        int grad = 0;
+        for (int x = 0; x < 16; ++x)
+          grad += std::abs(recon_.y.at(px + x, py) - recon_.y.at(px + x, py - 1));
+        return grad / 16 >= config_.strong_edge_threshold;
+      };
+
+      if (strong_edge_v()) {
+        deblock_bs4_vertical(recon_.y, px, py, config_.deblock);
+        record(trace ? &trace->lf : nullptr, ids_.lf_bs4);
+      }
+      if (strong_edge_h()) {
+        deblock_bs4_horizontal(recon_.y, px, py, config_.deblock);
+        record(trace ? &trace->lf : nullptr, ids_.lf_bs4);
+      }
+    }
+  }
+
+  frame_bits_.align();
+  result.bits = frame_bits_.bit_count();
+  result.psnr = psnr_y(input, recon_);
+  ref_ = recon_;
+  ++frame_;
+  return result;
+}
+
+}  // namespace rispp::h264

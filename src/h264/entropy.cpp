@@ -1,0 +1,79 @@
+#include "h264/entropy.h"
+
+#include "base/check.h"
+
+namespace rispp::h264 {
+
+const int kZigZag4x4[16] = {0, 1,  4,  8,  5, 2,  3,  6,
+                            9, 12, 13, 10, 7, 11, 14, 15};
+
+void write_ue(BitWriter& writer, std::uint32_t value) {
+  // codeNum = value; written as [zeros] 1 [info], zeros = info bits.
+  const std::uint64_t code = static_cast<std::uint64_t>(value) + 1;
+  int bits = 0;
+  while ((code >> bits) > 1) ++bits;
+  writer.put_bits(0, bits);
+  writer.put_bit(true);
+  if (bits > 0) writer.put_bits(static_cast<std::uint32_t>(code & ((1u << bits) - 1)), bits);
+}
+
+std::uint32_t read_ue(BitReader& reader) {
+  int zeros = 0;
+  while (!reader.get_bit()) {
+    ++zeros;
+    RISPP_CHECK_MSG(zeros <= 32, "malformed ue(v) code");
+  }
+  std::uint32_t info = zeros > 0 ? reader.get_bits(zeros) : 0;
+  return (1u << zeros) - 1 + info;
+}
+
+void write_se(BitWriter& writer, std::int32_t value) {
+  // 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(2 * value - 1)
+                : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(value));
+  write_ue(writer, mapped);
+}
+
+std::int32_t read_se(BitReader& reader) {
+  const std::uint32_t mapped = read_ue(reader);
+  if (mapped == 0) return 0;
+  const auto magnitude = static_cast<std::int32_t>((mapped + 1) / 2);
+  return mapped % 2 == 1 ? magnitude : -magnitude;
+}
+
+std::size_t encode_residual_block(BitWriter& writer, const int levels[16]) {
+  const std::size_t before = writer.bit_count();
+  int nonzero = 0;
+  for (int i = 0; i < 16; ++i)
+    if (levels[kZigZag4x4[i]] != 0) ++nonzero;
+  write_ue(writer, static_cast<std::uint32_t>(nonzero));
+  int run = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int level = levels[kZigZag4x4[i]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    write_ue(writer, static_cast<std::uint32_t>(run));
+    write_se(writer, level);
+    run = 0;
+  }
+  return writer.bit_count() - before;
+}
+
+void decode_residual_block(BitReader& reader, int levels[16]) {
+  for (int i = 0; i < 16; ++i) levels[i] = 0;
+  const std::uint32_t nonzero = read_ue(reader);
+  RISPP_CHECK_MSG(nonzero <= 16, "corrupt residual block header");
+  int position = 0;
+  for (std::uint32_t k = 0; k < nonzero; ++k) {
+    const auto run = static_cast<int>(read_ue(reader));
+    position += run;
+    RISPP_CHECK_MSG(position < 16, "corrupt residual run");
+    levels[kZigZag4x4[position]] = read_se(reader);
+    ++position;
+  }
+}
+
+}  // namespace rispp::h264

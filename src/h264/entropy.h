@@ -1,0 +1,33 @@
+// Entropy coding of quantized residual blocks — a CAVLC-flavoured run-level
+// coder over Exp-Golomb codes. This is the back end that turns the
+// encoder's levels into actual bits, so the workload reports a real bitrate
+// and the reconstruction loop is provably inverible end-to-end
+// (encode -> serialize -> parse -> decode round-trips exactly).
+#pragma once
+
+#include <cstdint>
+
+#include "h264/bitstream.h"
+
+namespace rispp::h264 {
+
+/// Unsigned Exp-Golomb (ue(v)) as in H.264 §9.1.
+void write_ue(BitWriter& writer, std::uint32_t value);
+std::uint32_t read_ue(BitReader& reader);
+
+/// Signed Exp-Golomb (se(v)): 0,1,-1,2,-2,... mapping.
+void write_se(BitWriter& writer, std::int32_t value);
+std::int32_t read_se(BitReader& reader);
+
+/// Encodes one 4x4 block of quantized levels (row-major) in zig-zag
+/// (run, level) form: ue(#nonzero), then per coefficient ue(run-before) and
+/// se(level). Returns the number of bits written.
+std::size_t encode_residual_block(BitWriter& writer, const int levels[16]);
+
+/// Exact inverse of encode_residual_block.
+void decode_residual_block(BitReader& reader, int levels[16]);
+
+/// The 4x4 zig-zag scan order (exposed for tests).
+extern const int kZigZag4x4[16];
+
+}  // namespace rispp::h264

@@ -1,0 +1,23 @@
+#include "h264/frame.h"
+
+#include <cmath>
+
+namespace rispp::h264 {
+
+double psnr_y(const Frame& a, const Frame& b) {
+  RISPP_CHECK(a.width() == b.width() && a.height() == b.height());
+  double sse = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    const Pixel* ra = a.y.row(y);
+    const Pixel* rb = b.y.row(y);
+    for (int x = 0; x < a.width(); ++x) {
+      const double d = static_cast<double>(ra[x]) - rb[x];
+      sse += d * d;
+    }
+  }
+  if (sse == 0.0) return 99.0;
+  const double mse = sse / (static_cast<double>(a.width()) * a.height());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,47 @@
+#include "h264/interpolate.h"
+
+namespace rispp::h264 {
+namespace {
+
+int filter_h(const Plane& ref, int x, int y) {
+  return point_filter_6tap(ref.at_clamped(x - 2, y), ref.at_clamped(x - 1, y),
+                           ref.at_clamped(x, y), ref.at_clamped(x + 1, y),
+                           ref.at_clamped(x + 2, y), ref.at_clamped(x + 3, y));
+}
+
+int filter_v(const Plane& ref, int x, int y) {
+  return point_filter_6tap(ref.at_clamped(x, y - 2), ref.at_clamped(x, y - 1),
+                           ref.at_clamped(x, y), ref.at_clamped(x, y + 1),
+                           ref.at_clamped(x, y + 2), ref.at_clamped(x, y + 3));
+}
+
+/// Vertical filter over horizontally filtered intermediates (the "j" sample
+/// of the standard), with the combined 1/1024 normalization.
+int filter_hv(const Plane& ref, int x, int y) {
+  int rows[6];
+  for (int k = 0; k < 6; ++k) rows[k] = filter_h(ref, x, y - 2 + k);
+  const int v = point_filter_6tap(rows[0], rows[1], rows[2], rows[3], rows[4], rows[5]);
+  return (v + 512) >> 10;
+}
+
+}  // namespace
+
+Pixel interpolate_half_pel(const Plane& ref, int full_x, int full_y, bool half_x, bool half_y) {
+  if (!half_x && !half_y) return ref.at_clamped(full_x, full_y);
+  if (half_x && !half_y) return clip_pixel((filter_h(ref, full_x, full_y) + 16) >> 5);
+  if (!half_x && half_y) return clip_pixel((filter_v(ref, full_x, full_y) + 16) >> 5);
+  return clip_pixel(filter_hv(ref, full_x, full_y));
+}
+
+void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y,
+                             const MotionVector& mv, Pixel dst[16 * 16]) {
+  const int base_x = mb_px_x + (mv.x >> 1);
+  const int base_y = mb_px_y + (mv.y >> 1);
+  const bool half_x = (mv.x & 1) != 0;
+  const bool half_y = (mv.y & 1) != 0;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      dst[y * 16 + x] = interpolate_half_pel(ref, base_x + x, base_y + y, half_x, half_y);
+}
+
+}  // namespace rispp::h264

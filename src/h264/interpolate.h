@@ -1,0 +1,35 @@
+// Sub-pel interpolation — the functional counterpart of the MC Special
+// Instruction of Figure 3: BytePack gathers the source pixels, PointFilter
+// is the 6-tap half-pel filter (1,-5,20,20,-5,1)/32, Clip3 saturates to
+// [0,255].
+#pragma once
+
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+/// One application of the H.264 6-tap filter to six neighbouring samples
+/// (unnormalized; callers add 16 and shift by 5).
+inline int point_filter_6tap(int a, int b, int c, int d, int e, int f) {
+  return a - 5 * b + 20 * c + 20 * d - 5 * e + f;
+}
+
+/// Motion vector in half-pel units.
+struct MotionVector {
+  int x = 0;  // half-pels
+  int y = 0;
+  bool operator==(const MotionVector&) const = default;
+
+  bool is_half_pel() const { return (x & 1) != 0 || (y & 1) != 0; }
+};
+
+/// Motion-compensates a 16x16 luma block from `ref` at full- or half-pel
+/// position (mb_x*16*2 + mv.x, ...) into `dst` (row-major 16x16).
+/// Edge-clamped like the SAD kernels.
+void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y,
+                             const MotionVector& mv, Pixel dst[16 * 16]);
+
+/// Half-pel interpolation at a single position (tests / reference).
+Pixel interpolate_half_pel(const Plane& ref, int full_x, int full_y, bool half_x, bool half_y);
+
+}  // namespace rispp::h264

@@ -1,0 +1,30 @@
+#include "h264/intra.h"
+
+namespace rispp::h264 {
+namespace {
+void fill(Pixel pred[16 * 16], Pixel value) {
+  for (int i = 0; i < 16 * 16; ++i) pred[i] = value;
+}
+}  // namespace
+
+void ipred_hdc_16x16(const Plane& recon, int mb_px_x, int mb_px_y, Pixel pred[16 * 16]) {
+  if (mb_px_x == 0) {
+    fill(pred, 128);
+    return;
+  }
+  int sum = 0;
+  for (int y = 0; y < 16; ++y) sum += recon.at(mb_px_x - 1, mb_px_y + y);
+  fill(pred, static_cast<Pixel>((sum + 8) / 16));
+}
+
+void ipred_vdc_16x16(const Plane& recon, int mb_px_x, int mb_px_y, Pixel pred[16 * 16]) {
+  if (mb_px_y == 0) {
+    fill(pred, 128);
+    return;
+  }
+  int sum = 0;
+  for (int x = 0; x < 16; ++x) sum += recon.at(mb_px_x + x, mb_px_y - 1);
+  fill(pred, static_cast<Pixel>((sum + 8) / 16));
+}
+
+}  // namespace rispp::h264

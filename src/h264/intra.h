@@ -1,0 +1,19 @@
+// Intra 16x16 DC prediction — the IPred HDC / IPred VDC Special
+// Instructions: DC prediction from the left column (horizontal) or the top
+// row (vertical) of previously reconstructed neighbours.
+#pragma once
+
+#include <cstdint>
+
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+/// Fills `pred` (row-major 16x16) with the DC value of the left neighbour
+/// column of MB (mb_px_x, mb_px_y) in `recon`; 128 if there is none.
+void ipred_hdc_16x16(const Plane& recon, int mb_px_x, int mb_px_y, Pixel pred[16 * 16]);
+
+/// Same from the top neighbour row.
+void ipred_vdc_16x16(const Plane& recon, int mb_px_x, int mb_px_y, Pixel pred[16 * 16]);
+
+}  // namespace rispp::h264

@@ -1,0 +1,77 @@
+#include "h264/kernels.h"
+
+#include <cstdlib>
+
+namespace rispp::h264 {
+namespace {
+
+/// In-place 4-point Hadamard butterfly (unnormalized).
+inline void hadamard4(int& a, int& b, int& c, int& d) {
+  const int s0 = a + c, s1 = b + d, s2 = a - c, s3 = b - d;
+  a = s0 + s1;
+  b = s2 + s3;
+  c = s0 - s1;
+  d = s2 - s3;
+}
+
+}  // namespace
+
+std::uint32_t sad_16x16(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry) {
+  std::uint32_t acc = 0;
+  const bool inside = rx >= 0 && ry >= 0 && rx + 16 <= ref.width() && ry + 16 <= ref.height();
+  for (int y = 0; y < 16; ++y) {
+    const Pixel* crow = cur.row(cy + y) + cx;
+    if (inside) {
+      const Pixel* rrow = ref.row(ry + y) + rx;
+      for (int x = 0; x < 16; ++x) acc += static_cast<std::uint32_t>(std::abs(crow[x] - rrow[x]));
+    } else {
+      for (int x = 0; x < 16; ++x)
+        acc += static_cast<std::uint32_t>(std::abs(crow[x] - ref.at_clamped(rx + x, ry + y)));
+    }
+  }
+  return acc;
+}
+
+std::uint32_t satd_4x4(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry) {
+  int d[16];
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x)
+      d[y * 4 + x] = static_cast<int>(cur.at(cx + x, cy + y)) -
+                     static_cast<int>(ref.at_clamped(rx + x, ry + y));
+  // Horizontal then vertical butterflies.
+  for (int y = 0; y < 4; ++y) hadamard4(d[y * 4 + 0], d[y * 4 + 1], d[y * 4 + 2], d[y * 4 + 3]);
+  for (int x = 0; x < 4; ++x) hadamard4(d[0 + x], d[4 + x], d[8 + x], d[12 + x]);
+  std::uint32_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc += static_cast<std::uint32_t>(std::abs(d[i]));
+  return acc / 2;
+}
+
+std::uint32_t satd_16x16(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry) {
+  std::uint32_t acc = 0;
+  for (int by = 0; by < 16; by += 4)
+    for (int bx = 0; bx < 16; bx += 4)
+      acc += satd_4x4(cur, cx + bx, cy + by, ref, rx + bx, ry + by);
+  return acc;
+}
+
+std::uint32_t satd_16x16_pred(const Plane& cur, int cx, int cy, const Pixel pred[16 * 16]) {
+  std::uint32_t acc = 0;
+  for (int by = 0; by < 16; by += 4) {
+    for (int bx = 0; bx < 16; bx += 4) {
+      int d[16];
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+          d[y * 4 + x] = static_cast<int>(cur.at(cx + bx + x, cy + by + y)) -
+                         static_cast<int>(pred[(by + y) * 16 + bx + x]);
+      for (int y = 0; y < 4; ++y)
+        hadamard4(d[y * 4 + 0], d[y * 4 + 1], d[y * 4 + 2], d[y * 4 + 3]);
+      for (int x = 0; x < 4; ++x) hadamard4(d[0 + x], d[4 + x], d[8 + x], d[12 + x]);
+      std::uint32_t s = 0;
+      for (int i = 0; i < 16; ++i) s += static_cast<std::uint32_t>(std::abs(d[i]));
+      acc += s / 2;
+    }
+  }
+  return acc;
+}
+
+}  // namespace rispp::h264

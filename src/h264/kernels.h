@@ -1,0 +1,27 @@
+// Cost kernels of the Motion Estimation hot spot — the functional
+// counterparts of the SAD and SATD Special Instructions.
+#pragma once
+
+#include <cstdint>
+
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+/// Sum of absolute differences over a 16x16 block. `cur` is addressed
+/// in-bounds at (cx,cy); the reference candidate (rx,ry) is edge-clamped so
+/// search windows may cross the frame border.
+std::uint32_t sad_16x16(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry);
+
+/// 4x4 SATD: sum of absolute values of the 2-D Hadamard transform of the
+/// residual, normalized by /2 as in the JM reference software.
+std::uint32_t satd_4x4(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry);
+
+/// 16x16 SATD as the sum of its sixteen 4x4 SATDs.
+std::uint32_t satd_16x16(const Plane& cur, int cx, int cy, const Plane& ref, int rx, int ry);
+
+/// SATD of a 16x16 block against an in-memory prediction block (row-major
+/// 16x16) — used for intra mode cost.
+std::uint32_t satd_16x16_pred(const Plane& cur, int cx, int cy, const Pixel pred[16 * 16]);
+
+}  // namespace rispp::h264

@@ -1,0 +1,35 @@
+#include "h264/quant.h"
+
+#include "base/check.h"
+
+namespace rispp::h264 {
+
+int quant_step(int qp) {
+  RISPP_CHECK(qp >= 0 && qp <= 51);
+  // Base steps for qp%6 as in H.264 (Qstep doubles every 6).
+  static constexpr int kBase[6] = {10, 11, 13, 14, 16, 18};
+  return kBase[qp % 6] << (qp / 6);
+}
+
+int quantize(int coeff, int qp) {
+  const int step = quant_step(qp);
+  const int mag = coeff < 0 ? -coeff : coeff;
+  const int level = (mag + step / 3) / step;
+  return coeff < 0 ? -level : level;
+}
+
+int dequantize(int level, int qp) { return level * quant_step(qp); }
+
+void quantize_block(int coeffs[16], int levels[16], int qp) {
+  for (int i = 0; i < 16; ++i) levels[i] = quantize(coeffs[i], qp);
+}
+
+void dequantize_block(const int levels[16], int coeffs[16], int qp) {
+  for (int i = 0; i < 16; ++i) coeffs[i] = dequantize(levels[i], qp);
+}
+
+int descale_idct(int v) {
+  return v >= 0 ? (v + 200) / 400 : -((-v + 200) / 400);
+}
+
+}  // namespace rispp::h264

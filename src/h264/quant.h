@@ -1,0 +1,25 @@
+// Scalar quantization of transform coefficients (the QuantCore atom's
+// functional counterpart). Simplified H.264 model: one step size per QP,
+// doubling every 6 QP steps, dead-zone rounding.
+#pragma once
+
+namespace rispp::h264 {
+
+/// Quantization step for 0 <= qp <= 51.
+int quant_step(int qp);
+
+/// Dead-zone quantizer: sign(v) * floor((|v| + step/3) / step).
+int quantize(int coeff, int qp);
+
+/// Reconstruction: level * step.
+int dequantize(int level, int qp);
+
+/// Full round trip for a 4x4 coefficient block (in place).
+void quantize_block(int coeffs[16], int levels[16], int qp);
+void dequantize_block(const int levels[16], int coeffs[16], int qp);
+
+/// Divides by the idct4x4 scale factor (400) with symmetric rounding —
+/// applied to reconstructed residuals.
+int descale_idct(int v);
+
+}  // namespace rispp::h264

@@ -1,0 +1,103 @@
+#include "h264/synthetic_video.h"
+
+#include <cmath>
+
+namespace rispp::h264 {
+
+SyntheticVideo::SyntheticVideo(const VideoConfig& config)
+    : config_(config), rng_(config.seed) {
+  reseed_scene();
+}
+
+void SyntheticVideo::reseed_scene() {
+  objects_.clear();
+  for (int i = 0; i < config_.object_count; ++i) {
+    Object o;
+    o.w = 24 + static_cast<int>(rng_.bounded(64));
+    o.h = 24 + static_cast<int>(rng_.bounded(48));
+    o.x = static_cast<double>(rng_.bounded(static_cast<std::uint64_t>(config_.width - o.w)));
+    o.y = static_cast<double>(rng_.bounded(static_cast<std::uint64_t>(config_.height - o.h)));
+    o.phase = rng_.uniform01() * 6.28318;
+    o.speed = 0.5 + rng_.uniform01() * 3.0;
+    o.texture = static_cast<int>(rng_.bounded(3));
+    o.luma = 60 + static_cast<int>(rng_.bounded(150));
+    objects_.push_back(o);
+  }
+}
+
+Pixel SyntheticVideo::background(int x, int y) const {
+  // Slow diagonal gradient with a coarse plaid so flat areas still have
+  // texture for SAD/SATD to chew on.
+  const int g = 40 + ((x + 2 * y) / 8) % 96 + (((x / 32) + (y / 32)) % 2) * 10;
+  return clip_pixel(g);
+}
+
+Pixel SyntheticVideo::object_pixel(const Object& o, int x, int y) const {
+  const int lx = x - static_cast<int>(o.x);
+  const int ly = y - static_cast<int>(o.y);
+  switch (o.texture) {
+    case 0:  // stripes
+      return clip_pixel(o.luma + ((lx / 3) % 2) * 40 - 20);
+    case 1:  // checker
+      return clip_pixel(o.luma + (((lx / 4) + (ly / 4)) % 2) * 36 - 18);
+    default:  // radial-ish ramp
+      return clip_pixel(o.luma + ((lx * lx + ly * ly) / 64) % 48 - 24);
+  }
+}
+
+Frame SyntheticVideo::next() {
+  if (config_.cut_period > 0 && frame_ > 0 && frame_ % config_.cut_period == 0) {
+    ++scene_;
+    reseed_scene();
+  }
+
+  // Global motion intensity varies sinusoidally (calm <-> busy phases) with
+  // a high-motion burst in the middle third of each scene.
+  const double t = static_cast<double>(frame_);
+  const double intensity = 1.0 + 0.8 * std::sin(t * 0.10) +
+                           ((frame_ % 50) > 30 ? 1.2 : 0.0);
+
+  // Move objects.
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    Object& o = objects_[i];
+    const double angle = o.phase + t * 0.07 + static_cast<double>(i);
+    o.x += std::cos(angle) * o.speed * intensity;
+    o.y += std::sin(angle * 0.8) * o.speed * intensity * 0.6;
+    // Wrap around softly.
+    if (o.x < -o.w) o.x = config_.width;
+    if (o.x > config_.width) o.x = -o.w + 1;
+    if (o.y < -o.h) o.y = config_.height;
+    if (o.y > config_.height) o.y = -o.h + 1;
+  }
+
+  Frame frame(config_.width, config_.height);
+  for (int y = 0; y < config_.height; ++y) {
+    Pixel* row = frame.y.row(y);
+    for (int x = 0; x < config_.width; ++x) {
+      Pixel p = background(x, y);
+      for (const Object& o : objects_) {
+        if (x >= static_cast<int>(o.x) && x < static_cast<int>(o.x) + o.w &&
+            y >= static_cast<int>(o.y) && y < static_cast<int>(o.y) + o.h) {
+          p = object_pixel(o, x, y);
+        }
+      }
+      const int noisy =
+          static_cast<int>(p) + static_cast<int>(rng_.gaussian(0.0, config_.noise_stddev));
+      row[x] = clip_pixel(noisy);
+    }
+  }
+  // Chroma: cheap function of luma position (the workload model only uses
+  // chroma for DC transforms, not for motion search).
+  for (int y = 0; y < config_.height / 2; ++y) {
+    Pixel* cb = frame.cb.row(y);
+    Pixel* cr = frame.cr.row(y);
+    for (int x = 0; x < config_.width / 2; ++x) {
+      cb[x] = clip_pixel(128 + (frame.y.at(2 * x, 2 * y) - 128) / 4);
+      cr[x] = clip_pixel(128 - (frame.y.at(2 * x, 2 * y) - 128) / 6);
+    }
+  }
+  ++frame_;
+  return frame;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,59 @@
+// Deterministic synthetic CIF video — the substitution for the paper's
+// proprietary test sequence (see DESIGN.md).
+//
+// The scheduler only cares about the *statistics* the encoder extracts from
+// the video: how many search steps motion estimation needs (motion
+// magnitude / predictability), how often intra beats inter (occlusions,
+// scene cuts), and how many strong deblocking edges appear (blockiness).
+// The generator therefore animates textured objects over a gradient
+// background with phase-varying motion, periodic high-motion bursts and a
+// scene cut, plus sensor noise — producing data-dependent, non-stationary
+// per-frame SI counts like a real sequence.
+#pragma once
+
+#include "base/prng.h"
+#include "h264/frame.h"
+
+namespace rispp::h264 {
+
+struct VideoConfig {
+  int width = kCifWidth;
+  int height = kCifHeight;
+  std::uint64_t seed = 0x5EED;
+  int object_count = 6;
+  /// A scene cut every `cut_period` frames (0 = never): forces intra bursts.
+  int cut_period = 60;
+  double noise_stddev = 1.5;
+};
+
+class SyntheticVideo {
+ public:
+  explicit SyntheticVideo(const VideoConfig& config = {});
+
+  /// Generates the next frame; deterministic in (config, call count).
+  Frame next();
+
+  int frame_index() const { return frame_; }
+
+ private:
+  struct Object {
+    double x, y;          // top-left position
+    int w, h;
+    double phase;         // motion phase offset
+    double speed;         // base velocity in pixels/frame
+    int texture;          // texture family selector
+    int luma;             // base brightness
+  };
+
+  void reseed_scene();
+  Pixel background(int x, int y) const;
+  Pixel object_pixel(const Object& o, int x, int y) const;
+
+  VideoConfig config_;
+  Xoshiro256 rng_;
+  std::vector<Object> objects_;
+  int frame_ = 0;
+  int scene_ = 0;
+};
+
+}  // namespace rispp::h264

@@ -1,0 +1,81 @@
+#include "h264/transform.h"
+
+namespace rispp::h264 {
+namespace {
+
+// H.264 forward core transform matrix C (applied as C * X * C^T):
+//   | 1  1  1  1 |
+//   | 2  1 -1 -2 |
+//   | 1 -1 -1  1 |
+//   | 1 -2  2 -1 |
+inline void forward_butterfly(const int x[4], int y[4]) {
+  const int s0 = x[0] + x[3], s1 = x[1] + x[2];
+  const int d0 = x[0] - x[3], d1 = x[1] - x[2];
+  y[0] = s0 + s1;
+  y[1] = 2 * d0 + d1;
+  y[2] = s0 - s1;
+  y[3] = d0 - 2 * d1;
+}
+
+// Exact integer inverse. C's rows are orthogonal with squared norms
+// (4,10,4,10), so B = C^T * diag(5,2,5,2) satisfies B*C = 20*I — applied on
+// rows and columns, idct4x4(dct4x4(x)) == 400 * x exactly. (Real codecs fold
+// the scaling into the dequantization tables; our pipeline divides by 400
+// with rounding after dequant, see quant.h.)
+inline void inverse_butterfly(const int x[4], int y[4]) {
+  const int a = 5 * (x[0] + x[2]);
+  const int b = 5 * (x[0] - x[2]);
+  const int c = 4 * x[1] + 2 * x[3];
+  const int d = 2 * x[1] - 4 * x[3];
+  y[0] = a + c;
+  y[1] = b + d;
+  y[2] = b - d;
+  y[3] = a - c;
+}
+
+template <typename RowFn>
+void transform_2d(const int in[16], int out[16], RowFn fn) {
+  int tmp[16];
+  // Rows.
+  for (int r = 0; r < 4; ++r) fn(&in[4 * r], &tmp[4 * r]);
+  // Columns.
+  for (int c = 0; c < 4; ++c) {
+    int col[4] = {tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]};
+    int res[4];
+    fn(col, res);
+    out[c] = res[0];
+    out[4 + c] = res[1];
+    out[8 + c] = res[2];
+    out[12 + c] = res[3];
+  }
+}
+
+}  // namespace
+
+void dct4x4(const int in[16], int out[16]) {
+  transform_2d(in, out, [](const int* x, int* y) { forward_butterfly(x, y); });
+}
+
+void idct4x4(const int in[16], int out[16]) {
+  transform_2d(in, out, [](const int* x, int* y) { inverse_butterfly(x, y); });
+}
+
+void hadamard4x4(const int in[16], int out[16]) {
+  transform_2d(in, out, [](const int* x, int* y) {
+    const int s0 = x[0] + x[2], s1 = x[1] + x[3];
+    const int d0 = x[0] - x[2], d1 = x[1] - x[3];
+    y[0] = s0 + s1;
+    y[1] = d0 + d1;
+    y[2] = s0 - s1;
+    y[3] = d0 - d1;
+  });
+}
+
+void hadamard2x2(const int in[4], int out[4]) {
+  out[0] = in[0] + in[1] + in[2] + in[3];
+  out[1] = in[0] - in[1] + in[2] - in[3];
+  out[2] = in[0] + in[1] - in[2] - in[3];
+  out[3] = in[0] - in[1] - in[2] + in[3];
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,25 @@
+// H.264 4x4 integer transforms — the functional counterparts of the (I)DCT,
+// (I)HT 4x4 and (I)HT 2x2 Special Instructions.
+#pragma once
+
+#include <cstdint>
+
+namespace rispp::h264 {
+
+/// Forward 4x4 integer DCT approximation (H.264 core transform).
+/// in/out are row-major 4x4.
+void dct4x4(const int in[16], int out[16]);
+
+/// Inverse of dct4x4 up to scaling: idct4x4(dct4x4(x)) == 400*x componentwise
+/// (real codecs fold the scaling into dequantization; our pipeline divides
+/// explicitly with rounding, see quant.h).
+void idct4x4(const int in[16], int out[16]);
+
+/// 4x4 Hadamard transform of luma DC coefficients (Intra16x16 path).
+/// Involutory up to scale: hadamard4x4 twice == 16*x.
+void hadamard4x4(const int in[16], int out[16]);
+
+/// 2x2 Hadamard of chroma DC coefficients; twice == 4*x.
+void hadamard2x2(const int in[4], int out[4]);
+
+}  // namespace rispp::h264

@@ -1,0 +1,90 @@
+#include "h264/workload.h"
+
+#include "base/check.h"
+#include "isa/h264_si_library.h"
+
+namespace rispp::h264 {
+
+H264SiIds resolve_si_ids(const SpecialInstructionSet& set) {
+  auto need = [&](const char* name) {
+    const auto id = set.find(name);
+    RISPP_CHECK_MSG(id.has_value(), "SI " << name << " missing from instruction set");
+    return *id;
+  };
+  H264SiIds ids;
+  ids.sad = need(h264sis::kSad);
+  ids.satd = need(h264sis::kSatd);
+  ids.dct = need(h264sis::kDct);
+  ids.ht2x2 = need(h264sis::kHt2x2);
+  ids.ht4x4 = need(h264sis::kHt4x4);
+  ids.mc = need(h264sis::kMc);
+  ids.ipred_hdc = need(h264sis::kIpredHdc);
+  ids.ipred_vdc = need(h264sis::kIpredVdc);
+  ids.lf_bs4 = need(h264sis::kLfBs4);
+  return ids;
+}
+
+WorkloadResult generate_h264_workload(const SpecialInstructionSet& set,
+                                      const WorkloadConfig& config) {
+  const H264SiIds ids = resolve_si_ids(set);
+
+  WorkloadResult result;
+  WorkloadTrace& trace = result.trace;
+  trace.hot_spots.resize(3);
+  trace.hot_spots[kHotSpotMe] = {"ME", {ids.sad, ids.satd}, config.per_execution_overhead};
+  trace.hot_spots[kHotSpotEe] = {"EE",
+                                 {ids.dct, ids.ht2x2, ids.ht4x4, ids.mc, ids.ipred_hdc,
+                                  ids.ipred_vdc},
+                                 config.per_execution_overhead};
+  trace.hot_spots[kHotSpotLf] = {"LF", {ids.lf_bs4}, config.per_execution_overhead};
+
+  SyntheticVideo video(config.video);
+  Encoder encoder(config.encoder, config.video.width, config.video.height, ids);
+
+  double psnr_sum = 0.0;
+  std::uint64_t total_bits = 0;
+  for (int f = 0; f < config.frames; ++f) {
+    const Frame input = video.next();
+    FrameSiTrace frame_trace;
+    const FrameResult fr = encoder.encode_frame(input, &frame_trace);
+    psnr_sum += fr.psnr;
+    total_bits += fr.bits;
+    result.intra_mbs += fr.intra_mbs;
+    result.inter_mbs += fr.inter_mbs;
+
+    if (!frame_trace.me.empty()) {
+      trace.instances.push_back(HotSpotInstance{
+          kHotSpotMe, std::move(frame_trace.me), config.hot_spot_entry_overhead});
+    }
+    trace.instances.push_back(HotSpotInstance{
+        kHotSpotEe, std::move(frame_trace.ee), config.hot_spot_entry_overhead});
+    trace.instances.push_back(HotSpotInstance{
+        kHotSpotLf, std::move(frame_trace.lf), config.hot_spot_entry_overhead});
+  }
+  result.mean_psnr = config.frames > 0 ? psnr_sum / config.frames : 0.0;
+  result.mean_bitrate_kbps =
+      config.frames > 0
+          ? static_cast<double>(total_bits) * 30.0 / config.frames / 1000.0
+          : 0.0;
+  return result;
+}
+
+std::vector<std::vector<std::uint64_t>> default_forecast_seeds(
+    const SpecialInstructionSet& set) {
+  const H264SiIds ids = resolve_si_ids(set);
+  std::vector<std::vector<std::uint64_t>> seeds(3,
+                                                std::vector<std::uint64_t>(set.si_count(), 0));
+  // Rough offline profile of one CIF frame (396 MBs).
+  seeds[kHotSpotMe][ids.sad] = 24'000;
+  seeds[kHotSpotMe][ids.satd] = 3'600;
+  seeds[kHotSpotEe][ids.mc] = 1'400;
+  seeds[kHotSpotEe][ids.dct] = 2'000;
+  seeds[kHotSpotEe][ids.ht2x2] = 400;
+  seeds[kHotSpotEe][ids.ht4x4] = 40;
+  seeds[kHotSpotEe][ids.ipred_hdc] = 400;
+  seeds[kHotSpotEe][ids.ipred_vdc] = 400;
+  seeds[kHotSpotLf][ids.lf_bs4] = 400;
+  return seeds;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,65 @@
+#include "hw/atom_container.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+ContainerFile::ContainerFile(unsigned count, std::size_t atom_type_dimension)
+    : containers_(count), ready_(atom_type_dimension) {}
+
+const AtomContainer& ContainerFile::container(ContainerId id) const {
+  RISPP_CHECK(id < containers_.size());
+  return containers_[id];
+}
+
+void ContainerFile::begin_load(ContainerId id, AtomTypeId type) {
+  RISPP_CHECK(id < containers_.size());
+  RISPP_CHECK(type < ready_.dimension());
+  AtomContainer& c = containers_[id];
+  RISPP_CHECK_MSG(c.state != ContainerState::kLoading,
+                  "container " << id << " already reconfiguring");
+  if (c.state == ContainerState::kReady) {
+    RISPP_CHECK(ready_[c.type] > 0);
+    --ready_[c.type];  // the previous atom is destroyed immediately
+  }
+  c.state = ContainerState::kLoading;
+  c.type = type;
+}
+
+void ContainerFile::complete_load(ContainerId id) {
+  RISPP_CHECK(id < containers_.size());
+  AtomContainer& c = containers_[id];
+  RISPP_CHECK(c.state == ContainerState::kLoading);
+  c.state = ContainerState::kReady;
+  ++ready_[c.type];
+}
+
+void ContainerFile::touch(const Molecule& used, Cycles now) {
+  for (std::size_t t = 0; t < used.dimension(); ++t) {
+    if (used[t] == 0) continue;
+    AtomCount remaining = used[t];
+    for (auto& c : containers_) {
+      if (remaining == 0) break;
+      if (c.state == ContainerState::kReady && c.type == t) {
+        c.last_used = now;
+        --remaining;
+      }
+    }
+  }
+}
+
+std::optional<ContainerId> ContainerFile::find_empty() const {
+  for (ContainerId id = 0; id < containers_.size(); ++id)
+    if (containers_[id].state == ContainerState::kEmpty) return id;
+  return std::nullopt;
+}
+
+std::vector<ContainerId> ContainerFile::ready_of_type(AtomTypeId type) const {
+  std::vector<ContainerId> out;
+  for (ContainerId id = 0; id < containers_.size(); ++id)
+    if (containers_[id].state == ContainerState::kReady && containers_[id].type == type)
+      out.push_back(id);
+  return out;
+}
+
+}  // namespace rispp

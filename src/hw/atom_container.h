@@ -1,0 +1,51 @@
+// The Atom Container (AC) file: the fixed set of small reconfigurable
+// regions, each of which holds at most one atom (§3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+
+namespace rispp {
+
+enum class ContainerState { kEmpty, kLoading, kReady };
+
+struct AtomContainer {
+  ContainerState state = ContainerState::kEmpty;
+  AtomTypeId type = 0;        // valid unless kEmpty
+  Cycles last_used = 0;       // for LRU eviction among superfluous atoms
+};
+
+class ContainerFile {
+ public:
+  ContainerFile(unsigned count, std::size_t atom_type_dimension);
+
+  unsigned size() const { return static_cast<unsigned>(containers_.size()); }
+  const AtomContainer& container(ContainerId id) const;
+
+  /// Atoms usable by SIs right now (kReady only).
+  const Molecule& ready_atoms() const { return ready_; }
+
+  /// Marks a container as the target of a reconfiguration for `type`
+  /// (overwriting whatever it held). The caller picked the victim.
+  void begin_load(ContainerId id, AtomTypeId type);
+  /// Reconfiguration finished; the atom becomes usable.
+  void complete_load(ContainerId id);
+
+  /// Bumps the LRU stamp of one ready atom of each type in `used` (SI
+  /// execution touches its atoms).
+  void touch(const Molecule& used, Cycles now);
+
+  /// First empty container, if any.
+  std::optional<ContainerId> find_empty() const;
+  /// All ready containers holding `type`.
+  std::vector<ContainerId> ready_of_type(AtomTypeId type) const;
+
+ private:
+  std::vector<AtomContainer> containers_;
+  Molecule ready_;  // cached kReady counts per type
+};
+
+}  // namespace rispp

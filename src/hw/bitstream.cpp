@@ -1,0 +1,13 @@
+#include "hw/bitstream.h"
+
+namespace rispp {
+
+double BitstreamModel::average_reconfig_us(const AtomLibrary& lib) const {
+  if (lib.size() == 0) return 0.0;
+  double total = 0.0;
+  for (AtomTypeId t = 0; t < lib.size(); ++t)
+    total += us_from_cycles(reconfig_cycles(lib.type(t)));
+  return total / static_cast<double>(lib.size());
+}
+
+}  // namespace rispp

@@ -1,0 +1,39 @@
+// Partial-bitstream size and reconfiguration-time model.
+//
+// The prototype loads atoms through the Xilinx SelectMap/ICAP interface at
+// 66 MB/s; due to FPGA constraints each atom occupies four CLB rows and its
+// partial bitstream averages ~60 KB, giving the paper's 874.03 us average
+// atom reconfiguration time (§5). We derive per-atom bitstream bytes from
+// the atom's slice count and convert to cycles at the 100 MHz core clock, so
+// the fleet average lands on the paper's figure (asserted in tests).
+#pragma once
+
+#include "base/clock.h"
+#include "base/types.h"
+#include "dpg/atom_library.h"
+
+namespace rispp {
+
+struct BitstreamModel {
+  /// SelectMap/ICAP bandwidth.
+  std::uint64_t bytes_per_second = 66'000'000;
+  /// Configuration payload per slice (CLB frames + routing).
+  std::uint64_t bytes_per_slice = 145;
+  /// Fixed ICAP setup cost per load, in cycles.
+  Cycles setup_cycles = 64;
+
+  std::uint64_t bitstream_bytes(const AtomType& type) const {
+    return type.slices * bytes_per_slice;
+  }
+
+  Cycles reconfig_cycles(const AtomType& type) const {
+    const double seconds = static_cast<double>(bitstream_bytes(type)) /
+                           static_cast<double>(bytes_per_second);
+    return setup_cycles + static_cast<Cycles>(seconds * static_cast<double>(kCoreClockHz));
+  }
+
+  /// Average over a library — the paper's headline 874.03 us.
+  double average_reconfig_us(const AtomLibrary& lib) const;
+};
+
+}  // namespace rispp

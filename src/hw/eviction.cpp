@@ -1,0 +1,41 @@
+#include "hw/eviction.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+std::optional<ContainerId> pick_victim(const ContainerFile& file, const Molecule& hard_demand,
+                                       const Molecule& soft_demand,
+                                       std::span<const Cycles> type_last_used) {
+  if (auto empty = file.find_empty()) return empty;
+  RISPP_CHECK(type_last_used.size() == hard_demand.dimension());
+  RISPP_CHECK(soft_demand.dimension() == hard_demand.dimension());
+
+  const Molecule& ready = file.ready_atoms();
+
+  // Preference classes, best first:
+  //   0: not wanted by anyone (over both hard and soft demand)
+  //   1: soft-demanded only (another hot spot wants it resident)
+  // Ties within a class go to the least-recently-used type.
+  std::optional<ContainerId> best;
+  int best_class = 0;
+  Cycles best_used = 0;
+  for (ContainerId id = 0; id < file.size(); ++id) {
+    const AtomContainer& c = file.container(id);
+    if (c.state != ContainerState::kReady) continue;
+    if (ready[c.type] <= hard_demand[c.type]) continue;  // hard-pinned
+    const AtomCount wanted = std::max(hard_demand[c.type], soft_demand[c.type]);
+    const int cls = ready[c.type] > wanted ? 0 : 1;
+    const Cycles used = type_last_used[c.type];
+    const bool better = !best.has_value() || cls < best_class ||
+                        (cls == best_class && used < best_used);
+    if (better) {
+      best = id;
+      best_class = cls;
+      best_used = used;
+    }
+  }
+  return best;
+}
+
+}  // namespace rispp

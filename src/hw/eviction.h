@@ -1,0 +1,36 @@
+// Victim selection when a scheduled atom load needs a container.
+//
+// The Molecule selection guarantees the *target* set fits (NA <= #ACs), but
+// containers may still hold atoms of the previous hot spot. The policy is
+// working-set aware:
+//   1. an empty container, else
+//   2. a ready atom over-provisioned w.r.t. the *hard* demand (the current
+//      hot spot's selection sup) — atoms in hard demand are pinned; among
+//      the evictable ones, prefer
+//      a. atoms no *other* hot spot's selection wants either (soft demand),
+//      b. then least-recently-used types.
+// Soft demand keeps the containers partitioned sensibly between recurring
+// hot spots (ME/EE/LF alternate every frame) instead of letting each hot
+// spot cannibalize the others' residency. If nothing is evictable the load
+// cannot proceed yet (the caller defers it) — this happens while in-flight
+// loads temporarily pin containers.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "alg/molecule.h"
+#include "hw/atom_container.h"
+
+namespace rispp {
+
+/// `hard_demand`: atoms per type that must remain (or become) resident — the
+/// current selection's sup. `soft_demand`: atoms other hot spots' last
+/// selections want resident (join over their sups). `type_last_used`:
+/// per-type LRU stamps. Returns the container to overwrite, or nullopt if
+/// every container is hard-pinned.
+std::optional<ContainerId> pick_victim(const ContainerFile& file, const Molecule& hard_demand,
+                                       const Molecule& soft_demand,
+                                       std::span<const Cycles> type_last_used);
+
+}  // namespace rispp

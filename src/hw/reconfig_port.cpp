@@ -1,0 +1,34 @@
+#include "hw/reconfig_port.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+ReconfigPort::ReconfigPort(const AtomLibrary* library, BitstreamModel model)
+    : library_(library), model_(model) {
+  RISPP_CHECK(library != nullptr);
+}
+
+Cycles ReconfigPort::start(AtomTypeId type, ContainerId container, Cycles now) {
+  RISPP_CHECK_MSG(!busy(), "reconfiguration port is single-channel");
+  const Cycles done = now + load_cycles(type);
+  inflight_ = InflightLoad{type, container, done};
+  return done;
+}
+
+ReconfigPort::InflightLoad ReconfigPort::retire(Cycles now) {
+  RISPP_CHECK(inflight_.has_value());
+  RISPP_CHECK_MSG(inflight_->finishes_at <= now,
+                  "retiring a load that finishes at " << inflight_->finishes_at
+                                                      << " but now is " << now);
+  InflightLoad done = *inflight_;
+  inflight_.reset();
+  ++completed_;
+  return done;
+}
+
+Cycles ReconfigPort::load_cycles(AtomTypeId type) const {
+  return model_.reconfig_cycles(library_->type(type));
+}
+
+}  // namespace rispp

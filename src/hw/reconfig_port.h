@@ -1,0 +1,47 @@
+// The single reconfiguration port (SelectMap/ICAP): one atom loads at a
+// time; the load sequence is whatever the SI Scheduler decided. The port is
+// a pure timing device — orchestration (victim choice, queue replacement on
+// hot-spot switches) lives in the Run-Time Manager.
+#pragma once
+
+#include <optional>
+
+#include "base/types.h"
+#include "dpg/atom_library.h"
+#include "hw/bitstream.h"
+
+namespace rispp {
+
+class ReconfigPort {
+ public:
+  ReconfigPort(const AtomLibrary* library, BitstreamModel model);
+
+  bool busy() const { return inflight_.has_value(); }
+
+  struct InflightLoad {
+    AtomTypeId type;
+    ContainerId container;
+    Cycles finishes_at;
+  };
+  const std::optional<InflightLoad>& inflight() const { return inflight_; }
+
+  /// Starts loading `type` into `container` at time `now` (port must be idle).
+  /// Returns the completion time.
+  Cycles start(AtomTypeId type, ContainerId container, Cycles now);
+
+  /// Retires the in-flight load (must have finished by `now`).
+  InflightLoad retire(Cycles now);
+
+  /// Cycles one load of `type` occupies the port.
+  Cycles load_cycles(AtomTypeId type) const;
+
+  std::uint64_t completed_loads() const { return completed_; }
+
+ private:
+  const AtomLibrary* library_;
+  BitstreamModel model_;
+  std::optional<InflightLoad> inflight_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace rispp

@@ -1,0 +1,42 @@
+#include "isa/candidates.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace rispp {
+
+std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
+                                      std::span<const SiRef> selected) {
+  std::vector<SiRef> out;
+  std::vector<bool> seen_si(set.si_count(), false);
+  for (const SiRef& sel : selected) {
+    RISPP_CHECK_MSG(!seen_si[sel.si], "two selected molecules for SI " << sel.si);
+    seen_si[sel.si] = true;
+    const SpecialInstruction& si = set.si(sel.si);
+    const Molecule& selected_atoms = si.molecule(sel.mol).atoms;
+    for (MoleculeId m = 0; m < si.molecules.size(); ++m)
+      if (leq(si.molecules[m].atoms, selected_atoms)) out.push_back(SiRef{sel.si, m});
+  }
+  std::sort(out.begin(), out.end(), [](const SiRef& a, const SiRef& b) {
+    return a.si != b.si ? a.si < b.si : a.mol < b.mol;
+  });
+  return out;
+}
+
+bool candidate_is_live(const SpecialInstructionSet& set, const SiRef& candidate,
+                       const Molecule& available, Cycles best_latency_for_its_si) {
+  const MoleculeImpl& impl = set.si(candidate.si).molecule(candidate.mol);
+  const bool needs_atoms = missing(available, impl.atoms).determinant() > 0;
+  return needs_atoms && impl.latency < best_latency_for_its_si;
+}
+
+void clean_candidates(const SpecialInstructionSet& set, std::vector<SiRef>& candidates,
+                      const Molecule& available, std::span<const Cycles> best_latency_per_si) {
+  RISPP_CHECK(best_latency_per_si.size() == set.si_count());
+  std::erase_if(candidates, [&](const SiRef& c) {
+    return !candidate_is_live(set, c, available, best_latency_per_si[c.si]);
+  });
+}
+
+}  // namespace rispp

@@ -1,0 +1,38 @@
+// Molecule candidate generation — equations (3) and (4) of §4.3.
+//
+// Eq. (3): given the selected Molecules M (one per SI of the hot spot), the
+// candidate set M' contains every molecule o of the same SI with o <= m —
+// all intermediate upgrade steps on a path to sup(M).
+//
+// Eq. (4): at run time, before each scheduling step, M' is cleaned against
+// the currently available/scheduled atoms a: a candidate m survives iff it
+// still needs atoms (|a ⊖ m| > 0) AND it would be faster than the fastest
+// available/scheduled molecule of its SI (bestLatency). This is what removes
+// the paper's m4=(1,3) when m2=(2,2) is already composed — unless the warm
+// start made m4 cheap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "isa/si.h"
+
+namespace rispp {
+
+/// Eq. (3): all smaller molecules of the selected SIs (including the selected
+/// molecules themselves). Sorted by (si, molecule id); no duplicates as long
+/// as `selected` holds at most one molecule per SI (checked).
+std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
+                                      std::span<const SiRef> selected);
+
+/// Eq. (4) predicate for one candidate: true iff the candidate still needs
+/// atoms beyond `available` and beats `best_latency_for_its_si`.
+bool candidate_is_live(const SpecialInstructionSet& set, const SiRef& candidate,
+                       const Molecule& available, Cycles best_latency_for_its_si);
+
+/// Applies eq. (4) in place: erases dead candidates from M'.
+void clean_candidates(const SpecialInstructionSet& set, std::vector<SiRef>& candidates,
+                      const Molecule& available, std::span<const Cycles> best_latency_per_si);
+
+}  // namespace rispp

@@ -1,0 +1,171 @@
+#include "isa/h264_si_library.h"
+
+#include "base/check.h"
+
+namespace rispp::h264sis {
+namespace {
+
+using rispp::AtomLibrary;
+using rispp::AtomType;
+using rispp::AtomTypeId;
+using rispp::Cycles;
+using rispp::DataPathGraph;
+using rispp::Molecule;
+using rispp::NodeId;
+using rispp::SpecialInstructionSet;
+
+/// Exception entry/exit cost of the SI trap (§3: synchronous exception).
+constexpr Cycles kTrapOverhead = 64;
+
+AtomLibrary build_library() {
+  AtomLibrary lib;
+  // name, hw op latency, sw emulation cycles per op, FPGA slices.
+  lib.add({kSadRow, 2, 64, 410});       // 16-pixel row |a-b| + accumulate
+  lib.add({kQSub, 1, 24, 330});         // packed 4x subtract
+  lib.add({kHadCore, 2, 48, 540});      // 4-point Hadamard butterfly
+  lib.add({kSav, 1, 20, 290});          // sum of absolute values
+  lib.add({kRepack, 1, 12, 230});       // byte lane shuffle
+  lib.add({kTransformRow, 2, 40, 500}); // 4-point integer DCT row
+  lib.add({kQuantCore, 2, 36, 470});    // multiply-shift quantizer
+  lib.add({kBytePack, 1, 16, 340});     // Figure 3: input byte packing
+  lib.add({kPointFilter, 2, 56, 620});  // Figure 3: 6-tap half-pel filter
+  lib.add({kClip3, 1, 12, 210});        // Figure 3: clip to [0,255]
+  lib.add({kPredAvg, 1, 24, 300});      // DC prediction averaging
+  lib.add({kEdgeCond, 1, 20, 350});     // deblocking edge condition
+  lib.add({kFiltCore, 2, 44, 580});     // deblocking strong filter
+  return lib;
+}
+
+AtomTypeId id_of(const AtomLibrary& lib, const char* name) {
+  auto id = lib.find(name);
+  RISPP_CHECK_MSG(id.has_value(), "unknown atom type " << name);
+  return *id;
+}
+
+Molecule caps(const AtomLibrary& lib, std::initializer_list<std::pair<const char*, unsigned>> list) {
+  Molecule m(lib.size());
+  for (const auto& [name, cap] : list) m[id_of(lib, name)] = static_cast<rispp::AtomCount>(cap);
+  return m;
+}
+
+}  // namespace
+
+SpecialInstructionSet build_h264_si_set() {
+  SpecialInstructionSet set(build_library());
+  const AtomLibrary& lib = set.library();
+
+  const AtomTypeId sadrow = id_of(lib, kSadRow);
+  const AtomTypeId qsub = id_of(lib, kQSub);
+  const AtomTypeId had = id_of(lib, kHadCore);
+  const AtomTypeId sav = id_of(lib, kSav);
+  const AtomTypeId repack = id_of(lib, kRepack);
+  const AtomTypeId trow = id_of(lib, kTransformRow);
+  const AtomTypeId quant = id_of(lib, kQuantCore);
+  const AtomTypeId bytepack = id_of(lib, kBytePack);
+  const AtomTypeId pfilter = id_of(lib, kPointFilter);
+  const AtomTypeId clip = id_of(lib, kClip3);
+  const AtomTypeId predavg = id_of(lib, kPredAvg);
+  const AtomTypeId edgecond = id_of(lib, kEdgeCond);
+  const AtomTypeId filtcore = id_of(lib, kFiltCore);
+
+  // --- SAD: 16x16 block as 16 independent row SADs (1 type, 3 molecules).
+  {
+    DataPathGraph g(&lib);
+    g.add_layer(sadrow, 16);
+    set.add_si(kSad, std::move(g), caps(lib, {{kSadRow, 3}}), kTrapOverhead, 3);
+  }
+
+  // --- SATD: 16 4x4 blocks; per block Repack -> 2 QSub -> horizontal then
+  // vertical Hadamard butterflies -> SAV (4 types, 20 molecules).
+  {
+    DataPathGraph g(&lib);
+    for (int block = 0; block < 16; ++block) {
+      const NodeId r = g.add_node(repack);
+      const auto qs = g.add_layer(qsub, 2, std::vector<NodeId>{r});
+      const auto h_hor = g.add_layer(had, 2, qs);
+      const auto h_ver = g.add_layer(had, 2, h_hor);
+      g.add_layer(sav, 1, h_ver);
+    }
+    set.add_si(kSatd, std::move(g),
+               caps(lib, {{kQSub, 4}, {kHadCore, 6}, {kSav, 3}, {kRepack, 2}}),
+               kTrapOverhead, 20, /*min_determinant=*/5);
+  }
+
+  // --- (I)DCT: 16 4x4 blocks; Repack -> row transform -> column transform ->
+  // quant (3 types, 12 molecules).
+  {
+    DataPathGraph g(&lib);
+    for (int block = 0; block < 16; ++block) {
+      const NodeId r = g.add_node(repack);
+      const NodeId rows = g.add_node(trow, {r});
+      const NodeId cols = g.add_node(trow, {rows});
+      g.add_node(quant, {cols});
+    }
+    set.add_si(kDct, std::move(g),
+               caps(lib, {{kTransformRow, 4}, {kQuantCore, 3}, {kRepack, 2}}),
+               kTrapOverhead, 12);
+  }
+
+  // --- (I)HT 2x2: chroma DC Hadamard, two planes (1 type, 2 molecules).
+  {
+    DataPathGraph g(&lib);
+    g.add_layer(had, 2);
+    set.add_si(kHt2x2, std::move(g), caps(lib, {{kHadCore, 2}}), kTrapOverhead, 2);
+  }
+
+  // --- (I)HT 4x4: luma DC Hadamard: 4 row butterflies -> 4 column
+  // butterflies -> 4 scaling sums (2 types, 7 molecules).
+  {
+    DataPathGraph g(&lib);
+    const auto rows = g.add_layer(had, 8);
+    const auto cols = g.add_layer(had, 4, rows);
+    g.add_layer(sav, 8, cols);
+    set.add_si(kHt4x4, std::move(g), caps(lib, {{kHadCore, 4}, {kSav, 2}}), kTrapOverhead, 7);
+  }
+
+  // --- MC 4: Figure 3 pipeline over 8 4x8 sub-blocks: BytePack x4 ->
+  // PointFilter x6 -> Clip3 x2 (3 types, 11 molecules).
+  {
+    DataPathGraph g(&lib);
+    for (int sub = 0; sub < 8; ++sub) {
+      const auto packs = g.add_layer(bytepack, 4);
+      const auto filters = g.add_layer(pfilter, 6, packs);
+      g.add_layer(clip, 2, filters);
+    }
+    set.add_si(kMc, std::move(g),
+               caps(lib, {{kBytePack, 2}, {kPointFilter, 6}, {kClip3, 2}}),
+               kTrapOverhead, 11);
+  }
+
+  // --- IPred HDC: horizontal DC intra prediction (2 types, 4 molecules).
+  {
+    DataPathGraph g(&lib);
+    const auto avgs = g.add_layer(predavg, 8);
+    g.add_layer(clip, 2, avgs);
+    set.add_si(kIpredHdc, std::move(g), caps(lib, {{kPredAvg, 3}, {kClip3, 2}}),
+               kTrapOverhead, 4);
+  }
+
+  // --- IPred VDC: vertical DC intra prediction (1 type, 3 molecules).
+  {
+    DataPathGraph g(&lib);
+    g.add_layer(predavg, 12);
+    set.add_si(kIpredVdc, std::move(g), caps(lib, {{kPredAvg, 3}}), kTrapOverhead, 3);
+  }
+
+  // --- LF_BS4: strong deblocking of one MB edge: 16 pixel-edge condition
+  // checks each feeding a strong filter (2 types, 5 molecules).
+  {
+    DataPathGraph g(&lib);
+    for (int px = 0; px < 16; ++px) {
+      const NodeId c = g.add_node(edgecond);
+      g.add_node(filtcore, {c});
+    }
+    set.add_si(kLfBs4, std::move(g), caps(lib, {{kEdgeCond, 2}, {kFiltCore, 4}}),
+               kTrapOverhead, 5);
+  }
+
+  return set;
+}
+
+}  // namespace rispp::h264sis

@@ -1,0 +1,48 @@
+// The H.264 encoder SI library of Table 1.
+//
+// Nine Special Instructions across the three hot spots of the encoder
+// (Figure 1): Motion Estimation (SAD, SATD), Encoding Engine ((I)DCT,
+// (I)HT 2x2, (I)HT 4x4, MC, IPred HDC, IPred VDC) and Loop Filter (LF_BS4).
+// Thirteen shared atom types implement them; atom counts and molecule counts
+// per SI match Table 1 exactly (asserted in tests and printed by
+// bench/table1_si_inventory).
+//
+// The data-path graphs mirror the functional kernels in src/h264/: e.g. the
+// MC SI is Figure 3's BytePack -> PointFilter -> Clip3 pipeline, where
+// PointFilter is the 6-tap half-pel interpolator of h264/interpolate.h.
+#pragma once
+
+#include "isa/si.h"
+
+namespace rispp::h264sis {
+
+/// Atom type names in the library (indices are stable and dense).
+inline constexpr const char* kSadRow = "SADRow";
+inline constexpr const char* kQSub = "QSub";
+inline constexpr const char* kHadCore = "HadCore";
+inline constexpr const char* kSav = "SAV";
+inline constexpr const char* kRepack = "Repack";
+inline constexpr const char* kTransformRow = "TransformRow";
+inline constexpr const char* kQuantCore = "QuantCore";
+inline constexpr const char* kBytePack = "BytePack";
+inline constexpr const char* kPointFilter = "PointFilter";
+inline constexpr const char* kClip3 = "Clip3";
+inline constexpr const char* kPredAvg = "PredAvg";
+inline constexpr const char* kEdgeCond = "EdgeCond";
+inline constexpr const char* kFiltCore = "FiltCore";
+
+/// SI names (Table 1 rows).
+inline constexpr const char* kSad = "SAD";
+inline constexpr const char* kSatd = "SATD";
+inline constexpr const char* kDct = "(I)DCT";
+inline constexpr const char* kHt2x2 = "(I)HT 2x2";
+inline constexpr const char* kHt4x4 = "(I)HT 4x4";
+inline constexpr const char* kMc = "MC 4";
+inline constexpr const char* kIpredHdc = "IPred HDC";
+inline constexpr const char* kIpredVdc = "IPred VDC";
+inline constexpr const char* kLfBs4 = "LF_BS4";
+
+/// Builds the full Table 1 instruction set.
+rispp::SpecialInstructionSet build_h264_si_set();
+
+}  // namespace rispp::h264sis

@@ -1,0 +1,91 @@
+#include "jpeg/jpeg_si_library.h"
+
+#include "base/check.h"
+
+namespace rispp::jpegsis {
+namespace {
+
+using rispp::AtomLibrary;
+using rispp::AtomTypeId;
+using rispp::Cycles;
+using rispp::DataPathGraph;
+using rispp::Molecule;
+using rispp::NodeId;
+using rispp::SpecialInstructionSet;
+
+constexpr Cycles kTrapOverhead = 64;
+
+AtomLibrary build_library() {
+  AtomLibrary lib;
+  lib.add({kCscCore, 2, 44, 480});
+  lib.add({kSubSample, 1, 16, 260});
+  lib.add({kDctRow8, 3, 72, 640});
+  lib.add({kQuantDiv, 2, 40, 420});
+  lib.add({kZigZag, 1, 14, 240});
+  lib.add({kRunLength, 1, 20, 310});
+  return lib;
+}
+
+AtomTypeId id_of(const AtomLibrary& lib, const char* name) {
+  const auto id = lib.find(name);
+  RISPP_CHECK(id.has_value());
+  return *id;
+}
+
+Molecule caps(const AtomLibrary& lib,
+              std::initializer_list<std::pair<const char*, unsigned>> list) {
+  Molecule m(lib.size());
+  for (const auto& [name, cap] : list) m[id_of(lib, name)] = static_cast<rispp::AtomCount>(cap);
+  return m;
+}
+
+}  // namespace
+
+SpecialInstructionSet build_jpeg_si_set() {
+  SpecialInstructionSet set(build_library());
+  const AtomLibrary& lib = set.library();
+  const AtomTypeId csc = id_of(lib, kCscCore);
+  const AtomTypeId sub = id_of(lib, kSubSample);
+  const AtomTypeId dct = id_of(lib, kDctRow8);
+  const AtomTypeId quant = id_of(lib, kQuantDiv);
+  const AtomTypeId zig = id_of(lib, kZigZag);
+  const AtomTypeId rle = id_of(lib, kRunLength);
+
+  // CSC: one 8x8 block of RGB->YCbCr, 16 matrix-row ops.
+  {
+    DataPathGraph g(&lib);
+    g.add_layer(csc, 16);
+    set.add_si(kCsc, std::move(g), caps(lib, {{kCscCore, 4}}), kTrapOverhead);
+  }
+  // Downsample: 4:2:0 chroma averaging of one MCU.
+  {
+    DataPathGraph g(&lib);
+    g.add_layer(sub, 8);
+    set.add_si(kDownsample, std::move(g), caps(lib, {{kSubSample, 2}}), kTrapOverhead);
+  }
+  // FDCT 8x8: 8 row passes then 8 column passes.
+  {
+    DataPathGraph g(&lib);
+    const auto rows = g.add_layer(dct, 8);
+    g.add_layer(dct, 8, rows);
+    set.add_si(kFdct, std::move(g), caps(lib, {{kDctRow8, 4}}), kTrapOverhead);
+  }
+  // Quant 8x8: 16 quad-quantizer ops behind a reorder.
+  {
+    DataPathGraph g(&lib);
+    const auto pack = g.add_layer(zig, 2);
+    g.add_layer(quant, 16, pack);
+    set.add_si(kQuant, std::move(g), caps(lib, {{kQuantDiv, 4}, {kZigZag, 2}}),
+               kTrapOverhead);
+  }
+  // ZigZag RLE: scan + run compression of one block.
+  {
+    DataPathGraph g(&lib);
+    const auto scan = g.add_layer(zig, 8);
+    g.add_layer(rle, 8, scan);
+    set.add_si(kRle, std::move(g), caps(lib, {{kZigZag, 2}, {kRunLength, 4}}), kTrapOverhead);
+  }
+  return set;
+}
+
+}  // namespace rispp::jpegsis

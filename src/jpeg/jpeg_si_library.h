@@ -1,0 +1,36 @@
+// A second platform instance: Special Instructions for a baseline-JPEG-style
+// image compressor.
+//
+// The paper stresses that RISPP "is by no means limited to" the H.264
+// encoder (§1/§6). This library demonstrates that: a different application
+// domain, its own atom types and SIs, running on exactly the same run-time
+// system (selection, SI Scheduler, Atom Containers, monitor). The
+// bench/generality_jpeg binary sweeps the §4 schedulers over it.
+//
+// Hot spots of the compressor:
+//   CC — color conversion + chroma downsampling (CSC, Downsample),
+//   TQ — 8x8 forward DCT + quantization (FDCT 8x8, Quant 8x8),
+//   EC — zig-zag + run-length entropy preparation (ZigZag RLE).
+#pragma once
+
+#include "isa/si.h"
+
+namespace rispp::jpegsis {
+
+inline constexpr const char* kCscCore = "CscCore";       // 3x3 color matrix row
+inline constexpr const char* kSubSample = "SubSample";   // 2x2 chroma average
+inline constexpr const char* kDctRow8 = "DctRow8";       // 8-point DCT row pass
+inline constexpr const char* kQuantDiv = "QuantDiv";     // table quantizer
+inline constexpr const char* kZigZag = "ZigZagScan";     // coefficient reorder
+inline constexpr const char* kRunLength = "RunLength";   // zero-run compressor
+
+inline constexpr const char* kCsc = "CSC";
+inline constexpr const char* kDownsample = "Downsample";
+inline constexpr const char* kFdct = "FDCT 8x8";
+inline constexpr const char* kQuant = "Quant 8x8";
+inline constexpr const char* kRle = "ZigZag RLE";
+
+/// Builds the JPEG platform SI set (5 SIs over 6 atom types).
+rispp::SpecialInstructionSet build_jpeg_si_set();
+
+}  // namespace rispp::jpegsis

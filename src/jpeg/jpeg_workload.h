@@ -1,0 +1,42 @@
+// Workload generation for the JPEG-style platform: compresses a stream of
+// synthetic RGB images and records the SI trace (three hot spots per image:
+// CC, TQ, EC). The EC counts are data-dependent — busy images produce more
+// coefficient activity and thus more RLE work — so the monitor has real
+// variation to track, as in the H.264 workload.
+#pragma once
+
+#include "isa/si.h"
+#include "sim/trace.h"
+
+namespace rispp::jpeg {
+
+enum : HotSpotId { kHotSpotCc = 0, kHotSpotTq = 1, kHotSpotEc = 2 };
+
+struct JpegWorkloadConfig {
+  int images = 40;
+  int width = 512;   // multiples of 16
+  int height = 384;
+  std::uint64_t seed = 0x1936;  // JPEG's JFIF heritage
+};
+
+struct JpegWorkloadResult {
+  WorkloadTrace trace;
+  std::uint64_t total_blocks = 0;
+  double mean_activity = 0.0;  // nonzero coefficients per block
+};
+
+JpegWorkloadResult generate_jpeg_workload(const SpecialInstructionSet& set,
+                                          const JpegWorkloadConfig& config);
+
+/// Forecast seeds for the three hot spots.
+std::vector<std::vector<std::uint64_t>> jpeg_forecast_seeds(const SpecialInstructionSet& set);
+
+template <typename Backend>
+void seed_jpeg_forecasts(const SpecialInstructionSet& set, Backend& backend) {
+  const auto seeds = jpeg_forecast_seeds(set);
+  for (HotSpotId hs = 0; hs < seeds.size(); ++hs)
+    for (SiId si = 0; si < seeds[hs].size(); ++si)
+      if (seeds[hs][si] != 0) backend.seed_forecast(hs, si, seeds[hs][si]);
+}
+
+}  // namespace rispp::jpeg

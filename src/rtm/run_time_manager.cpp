@@ -1,0 +1,222 @@
+#include "rtm/run_time_manager.h"
+
+#include "base/check.h"
+#include "base/log.h"
+#include "hw/eviction.h"
+
+namespace rispp {
+
+RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot_spot_count,
+                               const RtmConfig& config)
+    : set_(set),
+      config_(config),
+      monitor_(hot_spot_count, set->si_count()),
+      seeds_(hot_spot_count, std::vector<std::uint64_t>(set->si_count(), 0)),
+      containers_(config.container_count, set->atom_type_count()),
+      port_(&set->library(), config.bitstream),
+      demand_(set->atom_type_count()),
+      soft_demand_(set->atom_type_count()),
+      hot_spot_sup_(hot_spot_count, Molecule(set->atom_type_count())),
+      successor_(hot_spot_count, 0),
+      prefetch_demand_(set->atom_type_count()),
+      type_last_used_(set->atom_type_count(), 0),
+      cached_molecule_(set->si_count(), kSoftwareMolecule) {
+  RISPP_CHECK(config_.scheduler != nullptr);
+  if (config_.payback_horizon > 0)
+    payback_cycles_per_atom_ =
+        cycles_from_us(config_.bitstream.average_reconfig_us(set_->library())) /
+        config_.payback_horizon;
+}
+
+void RunTimeManager::seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected) {
+  monitor_.seed(hs, si, expected);
+  RISPP_CHECK(hs < seeds_.size() && si < seeds_[hs].size());
+  seeds_[hs][si] = expected;
+}
+
+void RunTimeManager::on_hot_spot_entry(const WorkloadTrace& trace, std::size_t instance,
+                                       Cycles now) {
+  advance_reconfig(now);
+
+  const HotSpotId hs = trace.instances[instance].hot_spot;
+  const HotSpotInfo& info = trace.hot_spots[hs];
+  // First-order successor prediction for prefetching.
+  if (seen_any_hot_spot_) successor_[current_hot_spot_] = hs;
+  current_hot_spot_ = hs;
+  seen_any_hot_spot_ = true;
+  prefetch_computed_ = false;
+  prefetch_loads_.clear();
+  monitor_.begin_hot_spot(hs);
+
+  std::vector<std::uint64_t> forecast;
+  switch (config_.forecast_mode) {
+    case ForecastMode::kMonitored:
+      forecast = monitor_.forecast(hs);
+      break;
+    case ForecastMode::kStaticSeeds:
+      forecast = seeds_[hs];
+      break;
+    case ForecastMode::kOracle:
+      forecast.assign(set_->si_count(), 0);
+      for (SiId si : trace.instances[instance].executions) ++forecast[si];
+      break;
+  }
+
+  // III) determine re-loading decisions: selection, then scheduling.
+  SelectionRequest sel_req;
+  sel_req.set = set_;
+  sel_req.hot_spot_sis = info.sis;
+  sel_req.expected_executions = forecast;
+  sel_req.container_count = containers_.size();
+  selection_ = select_molecules(sel_req);
+
+  ScheduleRequest sched_req;
+  sched_req.set = set_;
+  sched_req.selected = selection_;
+  sched_req.available = containers_.ready_atoms();
+  sched_req.expected_executions = forecast;
+  sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
+  const Schedule schedule = config_.scheduler->schedule(sched_req);
+
+  // The new hot spot overrides whatever the previous one still wanted to
+  // load (the in-flight atom, if any, completes normally).
+  pending_loads_.assign(schedule.loads.begin(), schedule.loads.end());
+  demand_ = Molecule(set_->atom_type_count());
+  for (const SiRef& s : selection_)
+    demand_ = join(demand_, set_->si(s.si).molecule(s.mol).atoms);
+  hot_spot_sup_[hs] = demand_;
+  soft_demand_ = Molecule(set_->atom_type_count());
+  for (HotSpotId other = 0; other < hot_spot_sup_.size(); ++other)
+    if (other != hs) soft_demand_ = join(soft_demand_, hot_spot_sup_[other]);
+
+  RISPP_DEBUG("hot spot " << info.name << " @" << now << ": " << selection_.size()
+                          << " molecules selected, " << pending_loads_.size()
+                          << " atom loads scheduled by " << config_.scheduler->name());
+  start_pending_loads(now);
+}
+
+void RunTimeManager::on_hot_spot_exit(Cycles) { monitor_.end_hot_spot(); }
+
+void RunTimeManager::advance_reconfig(Cycles now) {
+  while (port_.busy() && port_.inflight()->finishes_at <= now) {
+    const auto done = port_.retire(now);
+    containers_.complete_load(done.container);
+    cache_valid_ = false;
+    start_pending_loads(done.finishes_at);
+  }
+  if (!port_.busy()) start_pending_loads(now);
+}
+
+void RunTimeManager::start_pending_loads(Cycles now) {
+  while (!port_.busy() && !pending_loads_.empty()) {
+    const AtomTypeId type = pending_loads_.front();
+    const auto victim = pick_victim(containers_, demand_, soft_demand_, type_last_used_);
+    if (!victim.has_value()) {
+      // Every container is pinned (in-flight loads); retry at the next
+      // reconfiguration event.
+      RISPP_DEBUG("load of atom type " << type << " deferred: no victim container");
+      return;
+    }
+    pending_loads_.pop_front();
+    containers_.begin_load(*victim, type);
+    cache_valid_ = false;  // eviction may have removed a ready atom
+    port_.start(type, *victim, now);
+  }
+
+  // Port drained the current schedule: optionally prefetch the predicted
+  // next hot spot's atoms. The current demand stays hard-pinned, so
+  // prefetching can only consume containers the current hot spot spares.
+  if (config_.enable_prefetch && !port_.busy() && pending_loads_.empty()) {
+    if (!prefetch_computed_) compute_prefetch();
+    while (!port_.busy() && !prefetch_loads_.empty()) {
+      const AtomTypeId type = prefetch_loads_.front();
+      const Molecule hard = join(demand_, prefetch_demand_);
+      const auto victim = pick_victim(containers_, hard, soft_demand_, type_last_used_);
+      if (!victim.has_value()) return;
+      prefetch_loads_.pop_front();
+      containers_.begin_load(*victim, type);
+      cache_valid_ = false;
+      port_.start(type, *victim, now);
+    }
+  }
+}
+
+void RunTimeManager::compute_prefetch() {
+  prefetch_computed_ = true;
+  if (!seen_any_hot_spot_) return;
+  const HotSpotId next = successor_[current_hot_spot_];
+  if (next == current_hot_spot_) return;  // no prediction yet
+
+  // Select and schedule for the predicted hot spot against what would be
+  // resident, but never count on evicting current-demand atoms: the budget
+  // is the containers minus the current selection's sup.
+  const unsigned budget =
+      containers_.size() > demand_.determinant()
+          ? containers_.size() - demand_.determinant()
+          : 0;
+  if (budget == 0) return;
+
+  // The prefetch selection may also use atoms the current hot spot already
+  // holds (sharing), so the effective budget is |sup(next) ∪ demand| <= ACs;
+  // we approximate by selecting under the remaining budget.
+  SelectionRequest sel_req;
+  sel_req.set = set_;
+  // Hot-spot SI lists live in the trace; we reconstruct them from the
+  // forecast: any SI with a nonzero forecast for `next` belongs to it.
+  const auto& forecast = config_.forecast_mode == ForecastMode::kStaticSeeds
+                             ? seeds_[next]
+                             : monitor_.forecast(next);
+  for (SiId si = 0; si < set_->si_count(); ++si)
+    if (forecast[si] > 0) sel_req.hot_spot_sis.push_back(si);
+  if (sel_req.hot_spot_sis.empty()) return;
+  sel_req.expected_executions = forecast;
+  sel_req.container_count = budget;
+  const std::vector<SiRef> selection = select_molecules(sel_req);
+  if (selection.empty()) return;
+
+  ScheduleRequest sched_req;
+  sched_req.set = set_;
+  sched_req.selected = selection;
+  sched_req.available = containers_.ready_atoms();
+  sched_req.expected_executions = forecast;
+  sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
+  const Schedule schedule = config_.scheduler->schedule(sched_req);
+
+  prefetch_demand_ = Molecule(set_->atom_type_count());
+  for (const SiRef& s : selection)
+    prefetch_demand_ = join(prefetch_demand_, set_->si(s.si).molecule(s.mol).atoms);
+  prefetch_loads_.assign(schedule.loads.begin(), schedule.loads.end());
+  RISPP_DEBUG("prefetching " << prefetch_loads_.size() << " atoms for hot spot " << next);
+}
+
+void RunTimeManager::refresh_cache() {
+  const Molecule& ready = containers_.ready_atoms();
+  for (SiId si = 0; si < set_->si_count(); ++si)
+    cached_molecule_[si] = set_->fastest_available(si, ready);
+  cache_valid_ = true;
+}
+
+Cycles RunTimeManager::current_latency(SiId si) const {
+  return set_->fastest_available_latency(si, containers_.ready_atoms());
+}
+
+Cycles RunTimeManager::si_execution_latency(SiId si, Cycles now) {
+  advance_reconfig(now);
+  if (!cache_valid_) refresh_cache();
+
+  // I) control the SI execution: composed molecule or trap.
+  const MoleculeId mol = cached_molecule_[si];
+
+  // II) observe.
+  monitor_.record_execution(si);
+
+  if (mol != kSoftwareMolecule) {
+    // LRU stamps per used atom type (coarse but O(#types of this molecule)).
+    const Molecule& atoms = set_->si(si).molecule(mol).atoms;
+    for (std::size_t t = 0; t < atoms.dimension(); ++t)
+      if (atoms[t] != 0) type_last_used_[t] = now;
+  }
+  return set_->si(si).latency(mol);
+}
+
+}  // namespace rispp

@@ -1,0 +1,113 @@
+// The RISPP Run-Time Manager (§3.1) — the ExecutionBackend that ties the
+// whole platform together:
+//
+//   I)  controls SI execution: forwards an SI to the Atom Containers when a
+//       molecule is composed, or lets it trap onto the base instruction set;
+//   II) observes: per-hot-spot SI execution frequencies feed the forecast
+//       (ExecutionMonitor) used as "expected executions";
+//   III) decides re-loading: at every hot-spot entry it runs Molecule
+//       selection under the AC budget, asks the configured SI Scheduler for
+//       the atom loading sequence, and feeds the single reconfiguration
+//       port, evicting superfluous atoms as loads start.
+//
+// The gradual-upgrade property falls out of (I): as loads complete, the
+// fastest *available* molecule of each SI improves step by step.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hw/atom_container.h"
+#include "hw/bitstream.h"
+#include "hw/reconfig_port.h"
+#include "monitor/forecast.h"
+#include "sched/schedule.h"
+#include "select/selection.h"
+#include "sim/executor.h"
+
+namespace rispp {
+
+/// Where "expected SI executions" come from (the ablation_forecast bench
+/// compares these; the paper's system is kMonitored).
+enum class ForecastMode {
+  kMonitored,    // online monitoring with exponential update (the paper)
+  kStaticSeeds,  // design-time profile only, never adapted
+  kOracle,       // exact counts of the upcoming instance (future knowledge)
+};
+
+struct RtmConfig {
+  unsigned container_count = 10;
+  BitstreamModel bitstream;
+  /// The SI Scheduler strategy (not owned; must outlive the RTM).
+  const AtomScheduler* scheduler = nullptr;
+  ForecastMode forecast_mode = ForecastMode::kMonitored;
+  /// Payback horizon for the upgrade cleaning rule: the number of hot-spot
+  /// instances an atom is assumed to stay resident, over which its
+  /// reconfiguration time must be repaid by expected latency savings
+  /// (0 disables the rule).
+  unsigned payback_horizon = 16;
+  /// Cross-hot-spot prefetching (an extension beyond the paper): once the
+  /// current hot spot's load sequence has drained, the idle port starts
+  /// loading the schedule of the *predicted next* hot spot (first-order
+  /// successor prediction), without evicting anything the current hot spot
+  /// demands.
+  bool enable_prefetch = false;
+};
+
+class RunTimeManager final : public ExecutionBackend {
+ public:
+  RunTimeManager(const SpecialInstructionSet* set, std::size_t hot_spot_count,
+                 const RtmConfig& config);
+
+  /// Design-time forecast seed for the first instance of each hot spot.
+  void seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected);
+
+  // -- ExecutionBackend ------------------------------------------------
+  std::string_view name() const override { return config_.scheduler->name(); }
+  void on_hot_spot_entry(const WorkloadTrace& trace, std::size_t instance,
+                         Cycles now) override;
+  void on_hot_spot_exit(Cycles now) override;
+  Cycles si_execution_latency(SiId si, Cycles now) override;
+  std::uint64_t completed_loads() const override { return port_.completed_loads(); }
+
+  // -- Introspection (tests, Figure 8 analysis) ------------------------
+  const Molecule& ready_atoms() const { return containers_.ready_atoms(); }
+  const std::vector<SiRef>& current_selection() const { return selection_; }
+  const ExecutionMonitor& monitor() const { return monitor_; }
+  /// Latency the SI would take if issued at the current state.
+  Cycles current_latency(SiId si) const;
+
+ private:
+  void advance_reconfig(Cycles now);
+  void start_pending_loads(Cycles now);
+  void compute_prefetch();
+
+  const SpecialInstructionSet* set_;
+  RtmConfig config_;
+  ExecutionMonitor monitor_;
+  std::vector<std::vector<std::uint64_t>> seeds_;  // design-time profile copy
+  ContainerFile containers_;
+  ReconfigPort port_;
+
+  std::vector<SiRef> selection_;
+  Cycles payback_cycles_per_atom_ = 0;   // avg atom load time (payback rule)
+  Molecule demand_;                      // sup of the current selection (hard)
+  Molecule soft_demand_;                 // join of the other hot spots' sups
+  std::vector<Molecule> hot_spot_sup_;   // last selection sup per hot spot
+  std::deque<AtomTypeId> pending_loads_; // remaining SF output
+  std::deque<AtomTypeId> prefetch_loads_;       // predicted next hot spot's SF
+  std::vector<HotSpotId> successor_;            // last observed successor per hot spot
+  HotSpotId current_hot_spot_ = 0;
+  bool seen_any_hot_spot_ = false;
+  bool prefetch_computed_ = false;
+  Molecule prefetch_demand_;                    // sup of the prefetch selection
+  std::vector<Cycles> type_last_used_;   // LRU stamps per atom type
+
+  // Latency cache, invalidated when ready atoms change.
+  std::vector<MoleculeId> cached_molecule_;  // per SiId
+  bool cache_valid_ = false;
+  void refresh_cache();
+};
+
+}  // namespace rispp

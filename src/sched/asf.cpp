@@ -1,0 +1,21 @@
+#include "sched/asf.h"
+
+#include "sched/fsfr.h"
+
+namespace rispp {
+
+Schedule AsfScheduler::schedule(const ScheduleRequest& request) const {
+  UpgradeState state(request);
+  // Phase 1: one accelerating molecule for *all* SIs, in plain SI order —
+  // this is exactly the behaviour the paper faults at large AC counts: time
+  // is spent accelerating SIs "even though some of them are significantly
+  // less often executed than others".
+  for (const SiRef& selected : request.selected)
+    sched_detail::commit_smallest_step(state, selected.si);
+  // Phase 2: follow the FSFR path (importance order).
+  for (const SiRef& selected : by_importance(request))
+    sched_detail::upgrade_si_fully(state, selected);
+  return state.take_schedule();
+}
+
+}  // namespace rispp

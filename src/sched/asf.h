@@ -1,0 +1,18 @@
+// "Avoid Software First" (§4.4): before any deep upgrading, load one
+// smallest accelerating molecule for *every* selected SI (in importance
+// order) so no SI is stuck in the trap; then continue like FSFR. Pays off at
+// small AC counts, wastes time on rarely-executed SIs at large ones (the
+// paper's Figure 7 crossover at 17 ACs).
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+class AsfScheduler final : public AtomScheduler {
+ public:
+  std::string_view name() const override { return "ASF"; }
+  Schedule schedule(const ScheduleRequest& request) const override;
+};
+
+}  // namespace rispp

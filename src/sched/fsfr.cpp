@@ -1,0 +1,44 @@
+#include "sched/fsfr.h"
+
+namespace rispp {
+namespace sched_detail {
+
+namespace {
+/// Smallest-additional-atoms live candidate of `si`; ties broken by lower
+/// latency, then molecule id (determinism).
+bool pick_smallest(UpgradeState& state, SiId si, SiRef& out) {
+  const auto live = state.live_candidates_of(si);
+  if (live.empty()) return false;
+  const SiRef* best = &live.front();
+  for (const SiRef& c : live) {
+    const unsigned ca = state.additional_atoms(c), ba = state.additional_atoms(*best);
+    if (ca < ba || (ca == ba && state.latency(c) < state.latency(*best))) best = &c;
+  }
+  out = *best;
+  return true;
+}
+}  // namespace
+
+void upgrade_si_fully(UpgradeState& state, const SiRef& selected) {
+  while (!state.reached_selected(selected)) {
+    SiRef next;
+    if (!pick_smallest(state, selected.si, next)) break;  // nothing live left
+    state.commit(next);
+  }
+}
+
+void commit_smallest_step(UpgradeState& state, SiId si) {
+  SiRef next;
+  if (pick_smallest(state, si, next)) state.commit(next);
+}
+
+}  // namespace sched_detail
+
+Schedule FsfrScheduler::schedule(const ScheduleRequest& request) const {
+  UpgradeState state(request);
+  for (const SiRef& selected : by_importance(request))
+    sched_detail::upgrade_si_fully(state, selected);
+  return state.take_schedule();
+}
+
+}  // namespace rispp

@@ -1,0 +1,28 @@
+// "First Select First Reconfigure" (§4.4): fully upgrade the most important
+// SI — walking the staircase of its intermediate molecules — before starting
+// the next SI. Strong when few SIs matter; fails when a second SI starves in
+// software (the paper's Figure 7 dip around 7 ACs).
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+class FsfrScheduler final : public AtomScheduler {
+ public:
+  std::string_view name() const override { return "FSFR"; }
+  Schedule schedule(const ScheduleRequest& request) const override;
+};
+
+namespace sched_detail {
+/// Upgrades one SI to its selected molecule by repeatedly committing the
+/// live candidate of that SI needing the fewest additional atoms (ties:
+/// lower latency). Shared by FSFR (whole algorithm) and ASF/SJF (phase 2).
+void upgrade_si_fully(UpgradeState& state, const SiRef& selected);
+
+/// Commits the smallest live accelerating step of one SI, if any (ASF/SJF
+/// phase 1).
+void commit_smallest_step(UpgradeState& state, SiId si);
+}  // namespace sched_detail
+
+}  // namespace rispp

@@ -1,0 +1,60 @@
+#include "sched/hef.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+bool benefit_greater(const Benefit& a, const Benefit& b) {
+  RISPP_CHECK(a.atoms > 0 && b.atoms > 0);
+  // (a.gain * b.atoms) > (b.gain * a.atoms); products fit in 128 bits.
+  const __uint128_t lhs = static_cast<__uint128_t>(a.gain_weighted) * b.atoms;
+  const __uint128_t rhs = static_cast<__uint128_t>(b.gain_weighted) * a.atoms;
+  return lhs > rhs;
+}
+
+Schedule HefScheduler::schedule(const ScheduleRequest& request) const {
+  // UpgradeState implements Figure 6 lines 1-9 (candidates M' and the
+  // bestLatency array) and lines 13-16 (cleaning) inside live_candidates().
+  UpgradeState state(request);
+  if (counters_) ++counters_->invocations;
+
+  // Lines 12-29: schedule the Molecule candidates.
+  for (;;) {
+    const auto& live = state.live_candidates();
+    if (live.empty()) break;  // line 17
+    if (counters_) ++counters_->rounds;
+
+    // Lines 18-24: pick the highest-benefit candidate. bestBenefit starts at
+    // 0 and the comparison is strict, so the first maximum wins — matching
+    // the pseudocode's iteration order (SiId, then molecule id).
+    Benefit best_benefit{0, 1};
+    const SiRef* chosen = nullptr;
+    for (const SiRef& o : live) {
+      const Cycles best_lat = state.best_latency(o.si);
+      const Cycles lat = state.latency(o);
+      // Cleaning guarantees lat < best_lat for live candidates.
+      Benefit b;
+      b.gain_weighted = state.expected_executions(o.si) * (best_lat - lat);
+      b.atoms = state.additional_atoms(o);
+      if (counters_) {
+        ++counters_->benefit_evaluations;
+        ++counters_->benefit_comparisons;
+      }
+      if (chosen == nullptr ? b.gain_weighted > 0 : benefit_greater(b, best_benefit)) {
+        best_benefit = b;
+        chosen = &o;
+      }
+    }
+    if (chosen == nullptr) break;  // all live candidates have zero benefit
+
+    // Lines 25-28.
+    if (counters_) {
+      ++counters_->commits;
+      counters_->atoms_scheduled += best_benefit.atoms;
+    }
+    state.commit(*chosen);
+  }
+  return state.take_schedule();
+}
+
+}  // namespace rispp

@@ -1,0 +1,58 @@
+// "Highest Efficiency First" — the paper's proposed scheduler (Figure 6).
+//
+// Each round, every live candidate o is scored
+//
+//     benefit(o) = expectedExecutions(o.SI) * (bestLatency(o.SI) - latency(o))
+//                  ------------------------------------------------------------
+//                                 |a ⊖ o|  (additional atoms)
+//
+// and the maximum is committed. The hardware implementation avoids the
+// division (§5): to compare (a*b)/c > (d*e)/f it evaluates (a*b)*f > (d*e)*c,
+// valid because the atom counts c, f are always > 0. We implement exactly
+// that comparison (128-bit products) and property-test it against exact
+// rational comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+/// benefit as an unevaluated fraction (numerator = execs * latency gain,
+/// denominator = additional atoms > 0).
+struct Benefit {
+  std::uint64_t gain_weighted = 0;  // expectedExecs * (bestLatency - latency)
+  std::uint64_t atoms = 1;          // |a ⊖ o|, always > 0 for live candidates
+};
+
+/// The §5 division-free comparison: a.gain_weighted/a.atoms > b.gain_weighted/b.atoms
+/// evaluated as cross products in 128 bits.
+bool benefit_greater(const Benefit& a, const Benefit& b);
+
+/// Cost counters mirroring the hardware FSM work (Table 3 proxy): how many
+/// benefit computations, comparisons and commit steps one scheduler call
+/// performs.
+struct HefCostCounters {
+  std::uint64_t invocations = 0;
+  std::uint64_t rounds = 0;               // while-loop iterations (FSM passes)
+  std::uint64_t benefit_evaluations = 0;  // Figure 6 line 20
+  std::uint64_t benefit_comparisons = 0;  // Figure 6 line 21
+  std::uint64_t commits = 0;              // Figure 6 lines 25-28
+  std::uint64_t atoms_scheduled = 0;
+};
+
+class HefScheduler final : public AtomScheduler {
+ public:
+  /// `counters`, when given, accumulates FSM work across calls (not owned;
+  /// must outlive the scheduler).
+  explicit HefScheduler(HefCostCounters* counters = nullptr) : counters_(counters) {}
+
+  std::string_view name() const override { return "HEF"; }
+  Schedule schedule(const ScheduleRequest& request) const override;
+
+ private:
+  HefCostCounters* counters_;
+};
+
+}  // namespace rispp

@@ -1,0 +1,106 @@
+#include "sched/oracle.h"
+
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace rispp {
+namespace {
+
+/// Sum over selected SIs of expected * fastest-available latency under `a`.
+long double wait_rate(const ScheduleRequest& request, const Molecule& a) {
+  long double rate = 0.0L;
+  for (const SiRef& s : request.selected) {
+    const auto expected =
+        static_cast<long double>(request.expected_executions[s.si]);
+    rate += expected *
+            static_cast<long double>(request.set->fastest_available_latency(s.si, a));
+  }
+  return rate;
+}
+
+struct DfsResult {
+  long double cost = 0.0L;
+  std::vector<SiRef> commits;  // best commit order from this state on
+};
+
+class OracleSearch {
+ public:
+  OracleSearch(const ScheduleRequest& request, Cycles cycles_per_atom)
+      : request_(request), set_(*request.set), cycles_per_atom_(cycles_per_atom) {}
+
+  DfsResult solve(const Molecule& available) {
+    std::vector<AtomCount> key(available.counts().begin(), available.counts().end());
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Live candidates under eq. (4) for this availability.
+    std::vector<Cycles> best_latency(set_.si_count(), 0);
+    for (SiId si = 0; si < set_.si_count(); ++si)
+      best_latency[si] = set_.fastest_available_latency(si, available);
+    std::vector<SiRef> live = smaller_candidates(set_, request_.selected);
+    clean_candidates(set_, live, available, best_latency);
+
+    DfsResult best;
+    bool first = true;
+    for (const SiRef& c : live) {
+      const Molecule& atoms = set_.si(c.si).molecule(c.mol).atoms;
+      const Molecule delta = missing(available, atoms);
+      const long double load_cycles =
+          static_cast<long double>(delta.determinant()) *
+          static_cast<long double>(cycles_per_atom_);
+      // While this step loads, everything runs at the *current* latencies.
+      const long double step_cost = load_cycles * wait_rate(request_, available);
+      DfsResult sub = solve(join(available, atoms));
+      sub.cost += step_cost;
+      sub.commits.insert(sub.commits.begin(), c);
+      if (first || sub.cost < best.cost) {
+        best = std::move(sub);
+        first = false;
+      }
+    }
+    memo_.emplace(std::move(key), best);
+    return best;
+  }
+
+ private:
+  const ScheduleRequest& request_;
+  const SpecialInstructionSet& set_;
+  Cycles cycles_per_atom_;
+  std::map<std::vector<AtomCount>, DfsResult> memo_;
+};
+
+}  // namespace
+
+long double weighted_wait_cost(const ScheduleRequest& request, const Schedule& schedule,
+                               Cycles cycles_per_atom) {
+  Molecule a = request.available;
+  long double cost = 0.0L;
+  for (const UpgradeStep& step : schedule.steps) {
+    const long double load_cycles = static_cast<long double>(step.load_count) *
+                                    static_cast<long double>(cycles_per_atom);
+    cost += load_cycles * wait_rate(request, a);
+    const Molecule& atoms = request.set->si(step.molecule.si).molecule(step.molecule.mol).atoms;
+    a = join(a, atoms);
+  }
+  return cost;
+}
+
+Schedule OracleScheduler::schedule(const ScheduleRequest& request) const {
+  // Guard against accidentally unleashing the exponential search on the full
+  // H.264 instance — the oracle is a test/ablation instrument.
+  const auto candidates = smaller_candidates(*request.set, request.selected);
+  RISPP_CHECK_MSG(candidates.size() <= 40,
+                  "oracle limited to small instances, got " << candidates.size()
+                                                            << " candidates");
+  OracleSearch search(request, cycles_per_atom_);
+  const DfsResult best = search.solve(request.available);
+
+  // Replay the best commit order through the shared machinery so the
+  // resulting Schedule has identical structure to the greedy strategies'.
+  UpgradeState state(request);
+  for (const SiRef& c : best.commits) state.commit(c);
+  return state.take_schedule();
+}
+
+}  // namespace rispp

@@ -1,0 +1,40 @@
+// Exact reference scheduler for small instances, and the analytic cost
+// objective the greedy strategies approximate.
+//
+// §4.2: "An optimal schedule requires a precise future knowledge". The
+// realistic proxy available to a run-time scheduler is the expected SI
+// execution count. Under the (standard) assumption that executions are
+// spread uniformly over the hot spot, the damage a schedule causes is the
+// *weighted waiting cost*: while atoms load, every SI executes at its
+// currently fastest available latency, so
+//
+//   cost(SF) = Σ_steps  loadCycles(step) * Σ_SI expected(SI) * latency(SI, a)
+//
+// (latencies taken under the availability *before* the step completes).
+// OracleScheduler enumerates all molecule commit orders (DFS with
+// memoization on the availability vector) and returns a cost-minimal
+// schedule. Exponential — only for tests/ablations with few candidates.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+/// The weighted waiting cost of a schedule, with `cycles_per_atom` load time
+/// per scheduled atom. Lower is better; 0 means everything was preloaded.
+/// Uses long double accumulation to stay exact for the magnitudes involved.
+long double weighted_wait_cost(const ScheduleRequest& request, const Schedule& schedule,
+                               Cycles cycles_per_atom);
+
+class OracleScheduler final : public AtomScheduler {
+ public:
+  explicit OracleScheduler(Cycles cycles_per_atom) : cycles_per_atom_(cycles_per_atom) {}
+
+  std::string_view name() const override { return "Oracle"; }
+  Schedule schedule(const ScheduleRequest& request) const override;
+
+ private:
+  Cycles cycles_per_atom_;
+};
+
+}  // namespace rispp

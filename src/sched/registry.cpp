@@ -1,0 +1,22 @@
+#include "sched/registry.h"
+
+#include "base/check.h"
+#include "sched/asf.h"
+#include "sched/fsfr.h"
+#include "sched/hef.h"
+#include "sched/sjf.h"
+
+namespace rispp {
+
+std::vector<std::string> scheduler_names() { return {"ASF", "FSFR", "SJF", "HEF"}; }
+
+std::unique_ptr<AtomScheduler> make_scheduler(const std::string& name) {
+  if (name == "FSFR") return std::make_unique<FsfrScheduler>();
+  if (name == "ASF") return std::make_unique<AsfScheduler>();
+  if (name == "SJF") return std::make_unique<SjfScheduler>();
+  if (name == "HEF") return std::make_unique<HefScheduler>();
+  RISPP_CHECK_MSG(false, "unknown scheduler " << name);
+  return nullptr;
+}
+
+}  // namespace rispp

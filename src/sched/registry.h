@@ -1,0 +1,18 @@
+// Name-based construction of the §4 schedulers ("FSFR", "ASF", "SJF", "HEF").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+/// The evaluated strategies in the paper's presentation order.
+std::vector<std::string> scheduler_names();
+
+/// Throws on unknown names.
+std::unique_ptr<AtomScheduler> make_scheduler(const std::string& name);
+
+}  // namespace rispp

@@ -1,0 +1,140 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace rispp {
+
+bool is_valid_schedule(const ScheduleRequest& request, const Schedule& schedule) {
+  const SpecialInstructionSet& set = *request.set;
+  std::vector<Molecule> selected_atoms;
+  selected_atoms.reserve(request.selected.size());
+  for (const SiRef& s : request.selected)
+    selected_atoms.push_back(set.si(s.si).molecule(s.mol).atoms);
+  const Molecule sup_m = sup(selected_atoms, set.atom_type_count());
+  const Molecule budget = missing(request.available, sup_m);
+
+  // (a) loads stay within the per-type budget.
+  Molecule loaded(set.atom_type_count());
+  for (AtomTypeId t : schedule.loads) {
+    if (t >= set.atom_type_count()) return false;
+    if (++loaded[t] > budget[t]) return false;
+  }
+
+  // (b) the selected performance level is reached for every SI.
+  const Molecule final_atoms = [&] {
+    Molecule a = request.available;
+    for (std::size_t i = 0; i < a.dimension(); ++i)
+      a[i] = static_cast<AtomCount>(a[i] + loaded[i]);
+    return a;
+  }();
+  for (const SiRef& s : request.selected) {
+    const Cycles target = set.si(s.si).molecule(s.mol).latency;
+    if (set.fastest_available_latency(s.si, final_atoms) > target) return false;
+  }
+
+  // Steps must partition the load list.
+  std::size_t covered = 0;
+  for (const UpgradeStep& step : schedule.steps) {
+    if (step.first_load != covered) return false;
+    covered += step.load_count;
+  }
+  return covered == schedule.loads.size();
+}
+
+UpgradeState::UpgradeState(const ScheduleRequest& request)
+    : request_(&request), set_(request.set), available_(request.available) {
+  RISPP_CHECK(set_ != nullptr);
+  RISPP_CHECK(available_.dimension() == set_->atom_type_count());
+  RISPP_CHECK(request.expected_executions.size() == set_->si_count());
+
+  // Figure 6 lines 6-9: initialize bestLatency from what is available now.
+  best_latency_.resize(set_->si_count(), 0);
+  for (SiId si = 0; si < set_->si_count(); ++si)
+    best_latency_[si] = set_->fastest_available_latency(si, available_);
+
+  // Figure 6 lines 1-5 / eq. (3): all smaller molecules of the selected SIs.
+  candidates_ = smaller_candidates(*set_, request.selected);
+}
+
+void UpgradeState::clean() {
+  if (!dirty_) return;
+  clean_candidates(*set_, candidates_, available_, best_latency_);
+  if (request_->payback_cycles_per_atom > 0) {
+    std::erase_if(candidates_, [&](const SiRef& c) {
+      const Cycles gain = best_latency_[c.si] - set_->latency(c);  // > 0 after cleaning
+      const auto saving =
+          static_cast<__uint128_t>(request_->expected_executions[c.si]) * gain;
+      const auto cost = static_cast<__uint128_t>(additional_atoms(c)) *
+                        request_->payback_cycles_per_atom;
+      return saving <= cost;
+    });
+  }
+  dirty_ = false;
+}
+
+const std::vector<SiRef>& UpgradeState::live_candidates() {
+  clean();
+  return candidates_;
+}
+
+std::vector<SiRef> UpgradeState::live_candidates_of(SiId si) {
+  clean();
+  std::vector<SiRef> out;
+  for (const SiRef& c : candidates_)
+    if (c.si == si) out.push_back(c);
+  return out;
+}
+
+void UpgradeState::commit(const SiRef& molecule) {
+  const Molecule& atoms = set_->si(molecule.si).molecule(molecule.mol).atoms;
+  const Molecule delta = missing(available_, atoms);
+  RISPP_CHECK_MSG(delta.determinant() > 0, "committing an already-available molecule");
+
+  UpgradeStep step;
+  step.molecule = molecule;
+  step.first_load = schedule_.loads.size();
+  const auto units = unit_decomposition(delta);
+  schedule_.loads.insert(schedule_.loads.end(), units.begin(), units.end());
+  step.load_count = units.size();
+  schedule_.steps.push_back(step);
+
+  available_ = join(available_, atoms);
+  best_latency_[molecule.si] =
+      std::min(best_latency_[molecule.si], set_->latency(molecule));
+  dirty_ = true;
+}
+
+bool UpgradeState::reached_selected(const SiRef& selected) const {
+  return best_latency_[selected.si] <= set_->latency(selected);
+}
+
+std::uint64_t UpgradeState::expected_executions(SiId si) const {
+  return request_->expected_executions[si];
+}
+
+unsigned UpgradeState::additional_atoms(const SiRef& candidate) const {
+  const Molecule& atoms = set_->si(candidate.si).molecule(candidate.mol).atoms;
+  return missing(available_, atoms).determinant();
+}
+
+std::uint64_t si_importance(const ScheduleRequest& request, const SiRef& selected) {
+  const SpecialInstructionSet& set = *request.set;
+  const Cycles now = set.fastest_available_latency(selected.si, request.available);
+  const Cycles then = set.latency(selected);
+  const Cycles gain = now > then ? now - then : 0;
+  return request.expected_executions[selected.si] * gain;
+}
+
+std::vector<SiRef> by_importance(const ScheduleRequest& request) {
+  std::vector<SiRef> order = request.selected;
+  std::stable_sort(order.begin(), order.end(), [&](const SiRef& a, const SiRef& b) {
+    const std::uint64_t ia = si_importance(request, a), ib = si_importance(request, b);
+    if (ia != ib) return ia > ib;
+    return a.si < b.si;
+  });
+  return order;
+}
+
+}  // namespace rispp

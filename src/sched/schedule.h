@@ -1,0 +1,123 @@
+// The Atom scheduling problem of §4.2.
+//
+// Input: the Molecules selected for the upcoming hot spot (one per SI), the
+// atoms currently available in the Atom Containers, and the expected SI
+// execution counts from online monitoring. Output: the scheduling function
+// SF — an ordered list of Unit-Molecules (single atom loads), eq. (1) —
+// subject to the multiplicity condition eq. (2).
+//
+// All four strategies (§4.3/4.4) reduce Atom scheduling to *Molecule*
+// scheduling: each step commits one candidate molecule and emits the atoms
+// it still misses (a ⊖ m). The shared machinery lives in UpgradeState.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "isa/candidates.h"
+#include "isa/si.h"
+
+namespace rispp {
+
+struct ScheduleRequest {
+  const SpecialInstructionSet* set = nullptr;
+  /// Selected Molecules M — at most one per SI (the selection substrate
+  /// guarantees |sup M| <= #ACs).
+  std::vector<SiRef> selected;
+  /// Atoms already configured when the hot spot is entered (warm start).
+  Molecule available;
+  /// Expected executions per SiId for this hot-spot instance (monitoring).
+  std::vector<std::uint64_t> expected_executions;
+
+  /// Payback rule (0 = disabled): a candidate molecule is only worth
+  /// scheduling if its expected cycle savings within this hot-spot instance,
+  /// expectedExecs * (bestLatency - latency), exceed the reconfiguration
+  /// time of its missing atoms, |a ⊖ m| * payback_cycles_per_atom. The
+  /// Run-Time Manager enables this with the port's average atom load time;
+  /// it prunes tail upgrades that would only evict other hot spots' atoms
+  /// without ever repaying their own load.
+  Cycles payback_cycles_per_atom = 0;
+};
+
+/// One committed upgrade step: the molecule composed and how many atom loads
+/// it appended to SF.
+struct UpgradeStep {
+  SiRef molecule;
+  std::size_t first_load = 0;  // index into Schedule::loads
+  std::size_t load_count = 0;
+};
+
+struct Schedule {
+  /// SF(1..k): atom types in loading order (each entry is one Unit-Molecule).
+  std::vector<AtomTypeId> loads;
+  /// The molecule-level decisions that generated `loads`, in order.
+  std::vector<UpgradeStep> steps;
+};
+
+/// Validity of a schedule under warm starts and candidate cleaning:
+///  (a) the loads never exceed what sup(M) still misses (condition (2) as an
+///      upper bound — a ⊖ sup(M) per type), and
+///  (b) after all loads every selected SI reaches at least its selected
+///      molecule's latency.
+/// For a cold start in which no candidate is cleaned away this degenerates to
+/// the paper's exact multiplicity condition (2) (tested separately).
+bool is_valid_schedule(const ScheduleRequest& request, const Schedule& schedule);
+
+/// Strategy interface. Implementations are stateless; `schedule` is const.
+class AtomScheduler {
+ public:
+  virtual ~AtomScheduler() = default;
+  virtual std::string_view name() const = 0;
+  virtual Schedule schedule(const ScheduleRequest& request) const = 0;
+};
+
+/// Shared molecule-upgrade bookkeeping used by all strategies.
+class UpgradeState {
+ public:
+  explicit UpgradeState(const ScheduleRequest& request);
+
+  /// Live candidates after eq. (4) cleaning (cleans lazily on access).
+  const std::vector<SiRef>& live_candidates();
+  /// Live candidates restricted to one SI.
+  std::vector<SiRef> live_candidates_of(SiId si);
+
+  /// Commits a candidate: appends a ⊖ m to the schedule, updates a and
+  /// bestLatency (Figure 6 lines 25-28).
+  void commit(const SiRef& molecule);
+
+  /// True when the SI's selected molecule latency has been reached.
+  bool reached_selected(const SiRef& selected) const;
+
+  const Molecule& available() const { return available_; }
+  Cycles best_latency(SiId si) const { return best_latency_[si]; }
+  std::uint64_t expected_executions(SiId si) const;
+  unsigned additional_atoms(const SiRef& candidate) const;
+  Cycles latency(const SiRef& candidate) const { return set_->latency(candidate); }
+
+  Schedule take_schedule() { return std::move(schedule_); }
+  const ScheduleRequest& request() const { return *request_; }
+
+ private:
+  void clean();
+
+  const ScheduleRequest* request_;
+  const SpecialInstructionSet* set_;
+  Molecule available_;
+  std::vector<Cycles> best_latency_;   // per SiId
+  std::vector<SiRef> candidates_;      // M' progressively cleaned to M''
+  bool dirty_ = true;
+  Schedule schedule_;
+};
+
+/// Importance of a selected SI (used by FSFR/ASF to order the SIs):
+/// expected executions x potential improvement of the selected Molecule over
+/// what is currently available.
+std::uint64_t si_importance(const ScheduleRequest& request, const SiRef& selected);
+
+/// Orders `selected` by descending importance (stable; ties by SiId).
+std::vector<SiRef> by_importance(const ScheduleRequest& request);
+
+}  // namespace rispp

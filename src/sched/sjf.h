@@ -1,0 +1,17 @@
+// "Smallest Job First" (§4.4): after the ASF first phase (a smallest
+// molecule per SI), always commit the candidate — across all SIs — that
+// needs the fewest additional atoms; ties go to the bigger performance
+// improvement. Locally cheap steps, but blind to execution frequencies.
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace rispp {
+
+class SjfScheduler final : public AtomScheduler {
+ public:
+  std::string_view name() const override { return "SJF"; }
+  Schedule schedule(const ScheduleRequest& request) const override;
+};
+
+}  // namespace rispp

@@ -1,0 +1,72 @@
+#include "select/optimal.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+long double selection_benefit(const SelectionRequest& request,
+                              const std::vector<SiRef>& selection) {
+  const SpecialInstructionSet& set = *request.set;
+  long double total = 0.0L;
+  for (const SiRef& s : selection) {
+    const Cycles gain = set.si(s.si).software_latency - set.latency(s);
+    total += static_cast<long double>(request.expected_executions[s.si]) *
+             static_cast<long double>(gain);
+  }
+  return total;
+}
+
+namespace {
+
+struct SearchState {
+  const SelectionRequest* request;
+  long double best_benefit = -1.0L;
+  std::vector<SiRef> best;
+  std::vector<SiRef> current;
+};
+
+void search(SearchState& state, std::size_t index, const Molecule& sup_now,
+            long double benefit_now) {
+  const SelectionRequest& request = *state.request;
+  const SpecialInstructionSet& set = *request.set;
+  if (index == request.hot_spot_sis.size()) {
+    if (benefit_now > state.best_benefit) {
+      state.best_benefit = benefit_now;
+      state.best = state.current;
+    }
+    return;
+  }
+  const SiId si = request.hot_spot_sis[index];
+
+  // Option: leave this SI in software.
+  search(state, index + 1, sup_now, benefit_now);
+
+  const auto execs = static_cast<long double>(request.expected_executions[si]);
+  if (execs <= 0.0L) return;  // hardware can never help an unexecuted SI
+  for (MoleculeId m = 0; m < set.si(si).molecules.size(); ++m) {
+    const Molecule next_sup = join(sup_now, set.si(si).molecule(m).atoms);
+    if (next_sup.determinant() > request.container_count) continue;
+    const Cycles gain = set.si(si).software_latency - set.si(si).molecule(m).latency;
+    state.current.push_back(SiRef{si, m});
+    search(state, index + 1, next_sup, benefit_now + execs * static_cast<long double>(gain));
+    state.current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SiRef> select_molecules_optimal(const SelectionRequest& request) {
+  const SpecialInstructionSet& set = *request.set;
+  long double combinations = 1.0L;
+  for (SiId si : request.hot_spot_sis)
+    combinations *= static_cast<long double>(set.si(si).molecules.size() + 1);
+  RISPP_CHECK_MSG(combinations <= 2e6L,
+                  "optimal selection limited to small instances (" << (double)combinations
+                                                                   << " combos)");
+  SearchState state;
+  state.request = &request;
+  search(state, 0, Molecule(set.atom_type_count()), 0.0L);
+  return state.best;
+}
+
+}  // namespace rispp

@@ -1,0 +1,20 @@
+// Exhaustive Molecule selection — the exact reference the greedy
+// select_molecules() approximates. Enumerates every combination of (at most
+// one molecule per hot-spot SI, or software) whose sup fits the Atom
+// Container budget and maximizes total expected benefit
+// Σ expectedExecs(SI) * (trapLatency - latency(molecule)).
+// Exponential in Π (molecule counts + 1); guarded for test/ablation sizes.
+#pragma once
+
+#include "select/selection.h"
+
+namespace rispp {
+
+/// Total expected benefit of a selection under `request`'s expectations.
+long double selection_benefit(const SelectionRequest& request,
+                              const std::vector<SiRef>& selection);
+
+/// Exact maximizer; throws if the search space exceeds ~2M combinations.
+std::vector<SiRef> select_molecules_optimal(const SelectionRequest& request);
+
+}  // namespace rispp

@@ -1,0 +1,84 @@
+#include "select/selection.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace rispp {
+
+unsigned selection_atom_count(const SpecialInstructionSet& set,
+                              std::vector<SiRef> const& selection) {
+  Molecule acc(set.atom_type_count());
+  for (const SiRef& s : selection) acc = join(acc, set.si(s.si).molecule(s.mol).atoms);
+  return acc.determinant();
+}
+
+std::vector<SiRef> select_molecules(const SelectionRequest& request) {
+  const SpecialInstructionSet& set = *request.set;
+  RISPP_CHECK(request.expected_executions.size() == set.si_count());
+
+  // chosen[si] = molecule id or kSoftwareMolecule.
+  std::vector<MoleculeId> chosen(set.si_count(), kSoftwareMolecule);
+  Molecule sup_now(set.atom_type_count());
+
+  auto latency_of = [&](SiId si) {
+    return set.si(si).latency(chosen[si]);
+  };
+
+  for (;;) {
+    // Find the best affordable swap.
+    bool found = false;
+    long double best_density = 0.0L;
+    SiId best_si = 0;
+    MoleculeId best_mol = 0;
+    Molecule best_sup(set.atom_type_count());
+
+    for (SiId si : request.hot_spot_sis) {
+      const SpecialInstruction& s = set.si(si);
+      const Cycles current = latency_of(si);
+      const std::uint64_t execs = request.expected_executions[si];
+      for (MoleculeId m = 0; m < s.molecules.size(); ++m) {
+        if (s.molecules[m].latency >= current) continue;  // not an improvement
+        // sup after swapping this SI to molecule m.
+        Molecule trial(set.atom_type_count());
+        for (SiId other : request.hot_spot_sis) {
+          if (other == si) continue;
+          if (chosen[other] != kSoftwareMolecule)
+            trial = join(trial, set.si(other).molecule(chosen[other]).atoms);
+        }
+        trial = join(trial, s.molecules[m].atoms);
+        if (trial.determinant() > request.container_count) continue;  // unaffordable
+
+        const unsigned growth = trial.determinant() >= sup_now.determinant()
+                                    ? trial.determinant() - sup_now.determinant()
+                                    : 0;
+        const long double profit =
+            static_cast<long double>(execs) *
+            static_cast<long double>(current - s.molecules[m].latency);
+        if (profit <= 0.0L) continue;  // never burn area on unexecuted SIs
+        const long double density =
+            profit / static_cast<long double>(growth == 0 ? 1 : growth);
+        // Zero-growth improvements dominate everything else.
+        const long double score = growth == 0 ? density * 1e9L : density;
+        if (!found || score > best_density) {
+          found = true;
+          best_density = score;
+          best_si = si;
+          best_mol = m;
+          best_sup = trial;
+        }
+      }
+    }
+    if (!found) break;
+    chosen[best_si] = best_mol;
+    sup_now = best_sup;
+  }
+
+  std::vector<SiRef> selection;
+  for (SiId si : request.hot_spot_sis)
+    if (chosen[si] != kSoftwareMolecule) selection.push_back(SiRef{si, chosen[si]});
+  RISPP_CHECK(selection_atom_count(set, selection) <= request.container_count);
+  return selection;
+}
+
+}  // namespace rispp

@@ -1,0 +1,46 @@
+// Molecule *selection* — the Run-Time Manager task the paper delegates to
+// its companion work ("the details of the selection are beyond the scope of
+// this paper", §3.1) but which the scheduler needs as input: which Molecule
+// shall implement each SI of the upcoming hot spot, subject to the Atom
+// Container budget NA = |sup M| <= #ACs.
+//
+// We implement the RISPP-style greedy profit ascent: starting from "every SI
+// in software", repeatedly apply the single-molecule swap with the highest
+// profit density
+//
+//     expectedExecs(SI) * (latency(current) - latency(candidate))
+//     -----------------------------------------------------------
+//          growth of |sup M| caused by the swap  (>= 1)
+//
+// (zero-growth improvements are taken eagerly — atom-type sharing between
+// SIs makes them common) until no affordable improving swap remains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "isa/si.h"
+
+namespace rispp {
+
+struct SelectionRequest {
+  const SpecialInstructionSet* set = nullptr;
+  /// SIs of the upcoming hot spot.
+  std::vector<SiId> hot_spot_sis;
+  /// Expected executions per SiId (monitoring forecast).
+  std::vector<std::uint64_t> expected_executions;
+  /// Atom Container budget (#ACs).
+  unsigned container_count = 0;
+};
+
+/// Returns at most one SiRef per hot-spot SI; SIs that did not get hardware
+/// under the budget are absent (they stay on the trap path).
+/// Postcondition: |sup of returned molecules| <= container_count.
+std::vector<SiRef> select_molecules(const SelectionRequest& request);
+
+/// NA of a selection: |sup M| — the Atom Containers it occupies.
+unsigned selection_atom_count(const SpecialInstructionSet& set,
+                              std::vector<SiRef> const& selection);
+
+}  // namespace rispp

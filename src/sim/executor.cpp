@@ -1,0 +1,31 @@
+#include "sim/executor.h"
+
+#include "base/check.h"
+
+namespace rispp {
+
+SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend, SimStats* stats) {
+  SimResult result;
+  result.hot_spot_cycles.assign(trace.hot_spots.size(), 0);
+  Cycles now = 0;
+  for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
+    const HotSpotInstance& inst = trace.instances[idx];
+    const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
+    const Cycles entered = now;
+    now += inst.entry_overhead;
+    backend.on_hot_spot_entry(trace, idx, now);
+    for (SiId si : inst.executions) {
+      const Cycles latency = backend.si_execution_latency(si, now);
+      if (stats) stats->record_execution(si, now, latency);
+      now += latency + info.per_execution_overhead;
+      ++result.si_executions;
+    }
+    backend.on_hot_spot_exit(now);
+    result.hot_spot_cycles[inst.hot_spot] += now - entered;
+  }
+  result.total_cycles = now;
+  result.atom_loads = backend.completed_loads();
+  return result;
+}
+
+}  // namespace rispp

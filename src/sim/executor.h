@@ -1,0 +1,46 @@
+// The cycle-level trace executor.
+//
+// The executor owns simulated time. It replays a WorkloadTrace against an
+// ExecutionBackend — the RISPP Run-Time Manager or one of the baselines —
+// asking the backend for the latency of every SI execution and advancing the
+// clock by that latency plus the base-processor overhead the trace recorded.
+// Reconfiguration happens inside the backend, concurrent with execution, as
+// in the real platform (the port works while the pipeline executes).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "base/types.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace rispp {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  virtual std::string_view name() const = 0;
+
+  /// A hot-spot instance begins (the backend typically re-selects molecules
+  /// and reprograms the load queue here). `instance` indexes
+  /// trace.instances; the hot spot id is trace.instances[instance].hot_spot.
+  virtual void on_hot_spot_entry(const WorkloadTrace& trace, std::size_t instance,
+                                 Cycles now) = 0;
+
+  /// The hot-spot instance ended (fold monitoring counters etc.).
+  virtual void on_hot_spot_exit(Cycles now) = 0;
+
+  /// Latency of executing `si` starting at `now`. The backend must first
+  /// advance its internal reconfiguration state to `now`.
+  virtual Cycles si_execution_latency(SiId si, Cycles now) = 0;
+
+  /// Completed atom loads so far (0 for baselines without reconfiguration).
+  virtual std::uint64_t completed_loads() const { return 0; }
+};
+
+/// Replays `trace` against `backend`. `stats` is optional.
+SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend,
+                    SimStats* stats = nullptr);
+
+}  // namespace rispp

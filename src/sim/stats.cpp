@@ -1,0 +1,39 @@
+#include "sim/stats.h"
+
+#include <numeric>
+
+#include "base/check.h"
+
+namespace rispp {
+
+SimStats::SimStats(std::size_t si_count)
+    : total_executions_(si_count, 0), latency_(si_count) {}
+
+void SimStats::record_execution(SiId si, Cycles now, Cycles latency) {
+  RISPP_CHECK(si < total_executions_.size());
+  ++total_executions_[si];
+  const std::size_t bucket = static_cast<std::size_t>(now / kBucketCycles);
+  if (bucket >= bucket_exec_.size())
+    bucket_exec_.resize(bucket + 1, std::vector<std::uint64_t>(total_executions_.size(), 0));
+  ++bucket_exec_[bucket][si];
+  auto& tl = latency_[si];
+  if (tl.empty() || tl.back().latency != latency) tl.push_back({now, latency});
+}
+
+std::uint64_t SimStats::total_executions() const {
+  return std::accumulate(total_executions_.begin(), total_executions_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t SimStats::bucket_executions(SiId si, std::size_t bucket) const {
+  if (bucket >= bucket_exec_.size()) return 0;
+  RISPP_CHECK(si < total_executions_.size());
+  return bucket_exec_[bucket][si];
+}
+
+const std::vector<SimStats::LatencyPoint>& SimStats::latency_timeline(SiId si) const {
+  RISPP_CHECK(si < latency_.size());
+  return latency_[si];
+}
+
+}  // namespace rispp

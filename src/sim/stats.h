@@ -1,0 +1,52 @@
+// Simulation statistics: totals plus the per-100K-cycle buckets the paper's
+// Figures 2 and 8 plot (bars = SI executions per 100K cycles, lines = SI
+// latency over time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rispp {
+
+inline constexpr Cycles kBucketCycles = 100'000;
+
+class SimStats {
+ public:
+  explicit SimStats(std::size_t si_count);
+
+  /// One SI execution started at `now` and took `latency` cycles.
+  void record_execution(SiId si, Cycles now, Cycles latency);
+
+  std::uint64_t executions(SiId si) const { return total_executions_[si]; }
+  std::uint64_t total_executions() const;
+
+  /// Executions of `si` in bucket b (cycles [b*100K, (b+1)*100K)).
+  std::uint64_t bucket_executions(SiId si, std::size_t bucket) const;
+  std::size_t bucket_count() const { return bucket_exec_.size(); }
+
+  /// Latency change points of `si`: (cycle, latency), recorded whenever an
+  /// execution observed a different latency than the previous one.
+  struct LatencyPoint {
+    Cycles at;
+    Cycles latency;
+  };
+  const std::vector<LatencyPoint>& latency_timeline(SiId si) const;
+
+ private:
+  std::vector<std::uint64_t> total_executions_;
+  std::vector<std::vector<std::uint64_t>> bucket_exec_;  // [bucket][si]
+  std::vector<std::vector<LatencyPoint>> latency_;       // [si]
+};
+
+/// Result of one simulated run.
+struct SimResult {
+  Cycles total_cycles = 0;
+  std::uint64_t si_executions = 0;
+  std::uint64_t atom_loads = 0;  // completed reconfigurations
+  /// Cycles spent inside each hot spot (indexed by HotSpotId).
+  std::vector<Cycles> hot_spot_cycles;
+};
+
+}  // namespace rispp

@@ -1,0 +1,101 @@
+#include "sim/trace.h"
+
+#include <istream>
+#include <ostream>
+
+#include "base/check.h"
+
+namespace rispp {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52545243;  // "RTRC"
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  RISPP_CHECK_MSG(is.good(), "truncated trace stream");
+  return v;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  RISPP_CHECK(is.good());
+  return s;
+}
+
+}  // namespace
+
+std::size_t WorkloadTrace::total_si_executions() const {
+  std::size_t n = 0;
+  for (const auto& inst : instances) n += inst.executions.size();
+  return n;
+}
+
+std::uint64_t WorkloadTrace::executions_of(SiId si) const {
+  std::uint64_t n = 0;
+  for (const auto& inst : instances)
+    for (SiId s : inst.executions)
+      if (s == si) ++n;
+  return n;
+}
+
+void WorkloadTrace::save(std::ostream& os) const {
+  put(os, kMagic);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(hot_spots.size()));
+  for (const auto& hs : hot_spots) {
+    put_string(os, hs.name);
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(hs.sis.size()));
+    for (SiId si : hs.sis) put(os, si);
+    put(os, hs.per_execution_overhead);
+  }
+  put<std::uint64_t>(os, instances.size());
+  for (const auto& inst : instances) {
+    put(os, inst.hot_spot);
+    put(os, inst.entry_overhead);
+    put<std::uint64_t>(os, inst.executions.size());
+    os.write(reinterpret_cast<const char*>(inst.executions.data()),
+             static_cast<std::streamsize>(inst.executions.size() * sizeof(SiId)));
+  }
+}
+
+WorkloadTrace WorkloadTrace::load(std::istream& is) {
+  RISPP_CHECK_MSG(get<std::uint32_t>(is) == kMagic, "not a RISPP trace");
+  WorkloadTrace trace;
+  const auto hs_count = get<std::uint32_t>(is);
+  trace.hot_spots.resize(hs_count);
+  for (auto& hs : trace.hot_spots) {
+    hs.name = get_string(is);
+    const auto si_count = get<std::uint32_t>(is);
+    hs.sis.resize(si_count);
+    for (auto& si : hs.sis) si = get<SiId>(is);
+    hs.per_execution_overhead = get<Cycles>(is);
+  }
+  const auto inst_count = get<std::uint64_t>(is);
+  trace.instances.resize(inst_count);
+  for (auto& inst : trace.instances) {
+    inst.hot_spot = get<HotSpotId>(is);
+    RISPP_CHECK(inst.hot_spot < trace.hot_spots.size());
+    inst.entry_overhead = get<Cycles>(is);
+    const auto n = get<std::uint64_t>(is);
+    inst.executions.resize(n);
+    is.read(reinterpret_cast<char*>(inst.executions.data()),
+            static_cast<std::streamsize>(n * sizeof(SiId)));
+    RISPP_CHECK(is.good());
+  }
+  return trace;
+}
+
+}  // namespace rispp

@@ -1,0 +1,51 @@
+// Workload traces: what the processor executes, independent of *how fast*.
+//
+// A trace is a sequence of hot-spot instances (e.g. ME, EE, LF of each
+// frame), each carrying the exact order of SI executions the application
+// issued plus the base-processor overhead around them. The functional H.264
+// encoder records a trace once; the cycle-level executor then replays it
+// under any Run-Time Manager / scheduler / AC-count configuration — the same
+// record-replay methodology as the paper's simulation toolchain.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "monitor/forecast.h"
+
+namespace rispp {
+
+struct HotSpotInstance {
+  HotSpotId hot_spot = 0;
+  /// SI executions in program order.
+  std::vector<SiId> executions;
+  /// Base-processor cycles spent entering the hot spot (control code, cache
+  /// warmup) before the first SI.
+  Cycles entry_overhead = 0;
+};
+
+struct HotSpotInfo {
+  std::string name;
+  /// SIs this hot spot uses (input to Molecule selection).
+  std::vector<SiId> sis;
+  /// Base-processor cycles of glue code around each SI execution.
+  Cycles per_execution_overhead = 0;
+};
+
+struct WorkloadTrace {
+  std::vector<HotSpotInfo> hot_spots;
+  std::vector<HotSpotInstance> instances;
+
+  std::size_t total_si_executions() const;
+  /// Executions of one SI across the whole trace.
+  std::uint64_t executions_of(SiId si) const;
+
+  /// Compact binary serialization (cache for expensive workload generation).
+  void save(std::ostream& os) const;
+  static WorkloadTrace load(std::istream& is);
+};
+
+}  // namespace rispp

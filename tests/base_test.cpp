@@ -1,0 +1,153 @@
+// Tests for the base utilities: PRNG determinism and distribution sanity,
+// table/CSV rendering, invariant checking and the clock model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/check.h"
+#include "base/clock.h"
+#include "base/csv.h"
+#include "base/log.h"
+#include "base/prng.h"
+#include "base/table.h"
+
+namespace rispp {
+namespace {
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool all_equal = true, any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_equal = all_equal && va == b.next();
+    any_diff_seed_diff = any_diff_seed_diff || va != c.next();
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Prng, BoundedStaysInRangeAndCoversIt) {
+  Xoshiro256 rng(7);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.bounded(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 700);  // roughly uniform
+    EXPECT_LT(count, 1300);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Prng, RangeIsInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, Uniform01AndGaussianMoments) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+
+  double gsum = 0.0, gsq = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double g = rng.gaussian(10.0, 2.0);
+    gsum += g;
+    gsq += g * g;
+  }
+  const double mean = gsum / 20'000;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(gsq / 20'000 - mean * mean, 4.0, 0.4);
+}
+
+TEST(Clock, RoundTripAndPaperAnchors) {
+  EXPECT_EQ(cycles_from_us(874.03), 87'403u);
+  EXPECT_NEAR(us_from_cycles(87'403), 874.03, 0.01);
+  EXPECT_EQ(cycles_from_us(0.0), 0u);
+}
+
+TEST(Table, RendersAlignedColumnsWithSeparator) {
+  TextTable table({"a", "long header"});
+  table.add(1, "x");
+  table.add(22, 3.5);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| a  | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | 3.50        |"), std::string::npos);
+  EXPECT_NE(out.find("|----|"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 3), "-1.000");
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(7'403'000'000ull), "7,403,000,000");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"name", "value"});
+  csv.write(std::string("plain"), 42);
+  csv.write(std::string("has,comma"), 1);
+  csv.write(std::string("has\"quote"), 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,42\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\",1\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\",2\n"), std::string::npos);
+}
+
+TEST(Csv, RejectsWrongArity) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"one"}), std::logic_error);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    RISPP_CHECK_MSG(1 == 2, "context " << 99);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 99"), std::string::npos);
+  }
+  EXPECT_NO_THROW(RISPP_CHECK(true));
+}
+
+TEST(Log, LevelsGateEmission) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  RISPP_INFO("suppressed " << 1);  // must not crash, must not emit
+  set_log_level(LogLevel::kDebug);
+  RISPP_DEBUG("emitted " << 2);
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rispp

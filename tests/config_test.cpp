@@ -1,0 +1,147 @@
+// Tests for the textual platform-description parser.
+#include <gtest/gtest.h>
+
+#include "config/platform_parser.h"
+#include "sched/registry.h"
+#include "isa/h264_si_library.h"
+
+namespace rispp::config {
+namespace {
+
+constexpr const char* kTinyPlatform = R"(
+# two atoms, one SI
+atom A 2 40 400
+atom B 1 20 300
+
+si "Fir" trap=50 molecules=4
+  caps A=3 B=2
+  layer A x6
+  layer B x2
+end
+)";
+
+TEST(PlatformParser, ParsesTinyPlatform) {
+  const auto set = parse_platform_string(kTinyPlatform);
+  EXPECT_EQ(set.atom_type_count(), 2u);
+  ASSERT_EQ(set.si_count(), 1u);
+  const auto id = set.find("Fir");
+  ASSERT_TRUE(id.has_value());
+  const SpecialInstruction& si = set.si(*id);
+  EXPECT_EQ(si.molecules.size(), 4u);
+  EXPECT_EQ(si.graph.node_count(), 8u);
+  EXPECT_EQ(si.software_latency, 6u * 40 + 2u * 20 + 50);
+  // Layers chain: B nodes depend on all A nodes.
+  EXPECT_EQ(si.graph.node(6).preds.size(), 6u);
+}
+
+TEST(PlatformParser, BlocksRepeatSubGraphs) {
+  const auto set = parse_platform_string(R"(
+atom P 2 56 620
+atom C 1 12 210
+si "MC" trap=64
+  caps P=4 C=2
+  block x3
+    layer P x2
+    layer C x1
+  end
+end
+)");
+  const SpecialInstruction& si = set.si(0);
+  EXPECT_EQ(si.graph.node_count(), 9u);
+  const Molecule occ = si.graph.occurrences();
+  EXPECT_EQ(occ[0], 6);
+  EXPECT_EQ(occ[1], 3);
+  // Blocks are independent: with one instance each, the critical path is one
+  // block's chain (P then C), the rest serializes on resources.
+  EXPECT_EQ(si.graph.critical_path(), 3u);
+}
+
+TEST(PlatformParser, QuotedNamesAndComments) {
+  const auto set = parse_platform_string(R"(
+atom "My Atom" 1 10 100   # trailing comment
+si "My SI" trap=10        # another
+  layer "My Atom" x4
+end
+)");
+  EXPECT_TRUE(set.library().find("My Atom").has_value());
+  EXPECT_TRUE(set.find("My SI").has_value());
+}
+
+TEST(PlatformParser, ReproducesTheH264SadSi) {
+  const auto set = parse_platform_string(R"(
+atom SADRow 2 64 410
+si "SAD" trap=64 molecules=3
+  caps SADRow=3
+  layer SADRow x16
+end
+)");
+  const auto builtin = h264sis::build_h264_si_set();
+  const SpecialInstruction& parsed = set.si(0);
+  const SpecialInstruction& reference = builtin.si(builtin.find("SAD").value());
+  ASSERT_EQ(parsed.molecules.size(), reference.molecules.size());
+  for (std::size_t m = 0; m < parsed.molecules.size(); ++m)
+    EXPECT_EQ(parsed.molecules[m].latency, reference.molecules[m].latency);
+  EXPECT_EQ(parsed.software_latency, reference.software_latency);
+}
+
+TEST(PlatformParser, MinDeterminantFiltersSmallMolecules) {
+  const auto set = parse_platform_string(R"(
+atom A 2 40 400
+si "X" trap=50 min_det=3
+  caps A=4
+  layer A x8
+end
+)");
+  for (const auto& m : set.si(0).molecules) EXPECT_GE(m.atoms.determinant(), 3u);
+}
+
+TEST(PlatformParser, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      (void)parse_platform_string(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+  };
+  expect_error("bogus", "expected 'atom' or 'si'");
+  expect_error("atom A 1 2", "atom needs");
+  expect_error("atom A 1 2 3\nsi \"X\"\n  layer A xfoo\nend", "number");
+  expect_error("atom A 1 2 3\nsi \"X\"\n  layer A x4\n", "unterminated");
+  expect_error("atom A 1 2 3\nsi \"X\"\nend", "no layers");
+  expect_error("atom A 1 2 3\nsi \"X\" bad=1\n  layer A x1\nend", "unknown si attribute");
+}
+
+TEST(PlatformParser, UnknownAtomInLayerThrows) {
+  EXPECT_THROW((void)parse_platform_string(R"(
+atom A 1 10 100
+si "X" trap=10
+  layer B x4
+end
+)"),
+               std::logic_error);
+}
+
+TEST(PlatformParser, DescribeListsAtomsAndMolecules) {
+  const auto set = parse_platform_string(kTinyPlatform);
+  const std::string report = describe_platform(set);
+  EXPECT_NE(report.find("atom A 2 40 400"), std::string::npos);
+  EXPECT_NE(report.find("si \"Fir\""), std::string::npos);
+  EXPECT_NE(report.find("molecules"), std::string::npos);
+}
+
+TEST(PlatformParser, ParsedPlatformSchedulesEndToEnd) {
+  // The parsed platform is a first-class citizen: run a schedule through it.
+  const auto set = parse_platform_string(kTinyPlatform);
+  ScheduleRequest req;
+  req.set = &set;
+  req.selected = {SiRef{0, static_cast<MoleculeId>(set.si(0).molecules.size() - 1)}};
+  req.available = Molecule(set.atom_type_count());
+  req.expected_executions = {1000};
+  const auto hef = make_scheduler("HEF");
+  EXPECT_TRUE(is_valid_schedule(req, hef->schedule(req)));
+}
+
+}  // namespace
+}  // namespace rispp::config

@@ -1,0 +1,79 @@
+// Round-trip tests: the decoder reproduces the encoder's luma
+// reconstruction bit-exactly, frame after frame (drift-free closed loop).
+#include <gtest/gtest.h>
+
+#include "h264/decoder.h"
+#include "h264/encoder.h"
+#include "h264/synthetic_video.h"
+#include "h264/workload.h"
+#include "isa/h264_si_library.h"
+
+namespace rispp::h264 {
+namespace {
+
+TEST(Decoder, LumaReconstructionMatchesEncoderExactly) {
+  const auto set = h264sis::build_h264_si_set();
+  const H264SiIds ids = resolve_si_ids(set);
+  VideoConfig video_config;
+  video_config.width = 96;
+  video_config.height = 64;
+  video_config.object_count = 3;
+  SyntheticVideo video(video_config);
+
+  EncoderConfig config;
+  Encoder encoder(config, video_config.width, video_config.height, ids);
+
+  Plane decoder_ref(video_config.width, video_config.height);
+  for (int frame = 0; frame < 5; ++frame) {
+    const Frame input = video.next();
+    const FrameResult result = encoder.encode_frame(input, nullptr);
+
+    BitReader reader(encoder.last_frame_bytes());
+    const DecodedFrame decoded = decode_frame_luma(reader, decoder_ref, config);
+
+    EXPECT_EQ(decoded.intra_mbs, result.intra_mbs) << "frame " << frame;
+    EXPECT_EQ(decoded.inter_mbs, result.inter_mbs) << "frame " << frame;
+    // Bit-exact luma reconstruction, including the deblocking pass.
+    int mismatches = 0;
+    for (int y = 0; y < video_config.height; ++y)
+      for (int x = 0; x < video_config.width; ++x)
+        if (decoded.luma.at(x, y) != encoder.reconstructed().y.at(x, y)) ++mismatches;
+    ASSERT_EQ(mismatches, 0) << "frame " << frame;
+    decoder_ref = decoded.luma;  // closed loop: decode from decoded reference
+  }
+}
+
+TEST(Decoder, BitrateIsPlausible) {
+  const auto set = h264sis::build_h264_si_set();
+  WorkloadConfig config;
+  config.frames = 4;
+  config.video.width = 176;  // QCIF for speed
+  config.video.height = 144;
+  const auto result = generate_h264_workload(set, config);
+  // A lossy QCIF stream at QP 28 should land far below raw size and above
+  // absurdly-small: raw 176*144*8*30 ~ 6 Mbps; expect tens to hundreds kbps
+  // for luma residuals + headers.
+  EXPECT_GT(result.mean_bitrate_kbps, 20.0);
+  EXPECT_LT(result.mean_bitrate_kbps, 4'000.0);
+}
+
+TEST(Decoder, TruncatedStreamThrows) {
+  const auto set = h264sis::build_h264_si_set();
+  const H264SiIds ids = resolve_si_ids(set);
+  VideoConfig video_config;
+  video_config.width = 48;
+  video_config.height = 32;
+  SyntheticVideo video(video_config);
+  EncoderConfig config;
+  Encoder encoder(config, video_config.width, video_config.height, ids);
+  (void)encoder.encode_frame(video.next(), nullptr);
+  auto bytes = encoder.last_frame_bytes();
+  ASSERT_GT(bytes.size(), 8u);
+  bytes.resize(bytes.size() / 4);  // chop the stream
+  BitReader reader(std::move(bytes));
+  const Plane ref(video_config.width, video_config.height);
+  EXPECT_THROW((void)decode_frame_luma(reader, ref, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rispp::h264

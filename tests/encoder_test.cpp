@@ -1,0 +1,114 @@
+// Tests of the H.264-subset encoder and the workload generation pipeline.
+#include <gtest/gtest.h>
+
+#include "h264/workload.h"
+#include "isa/h264_si_library.h"
+
+namespace rispp::h264 {
+namespace {
+
+WorkloadConfig small_config(int frames) {
+  WorkloadConfig config;
+  config.frames = frames;
+  config.video.width = 96;   // 6x4 MBs — fast tests
+  config.video.height = 64;
+  config.video.object_count = 2;
+  return config;
+}
+
+TEST(Encoder, FirstFrameIsAllIntra) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto config = small_config(1);
+  const auto result = generate_h264_workload(set, config);
+  EXPECT_EQ(result.inter_mbs, 0);
+  EXPECT_EQ(result.intra_mbs, 6 * 4);
+  // No ME instance for an intra frame: only EE and LF.
+  ASSERT_EQ(result.trace.instances.size(), 2u);
+  EXPECT_EQ(result.trace.instances[0].hot_spot, kHotSpotEe);
+  EXPECT_EQ(result.trace.instances[1].hot_spot, kHotSpotLf);
+}
+
+TEST(Encoder, PFramesAreMostlyInter) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto result = generate_h264_workload(set, small_config(6));
+  EXPECT_GT(result.inter_mbs, result.intra_mbs);
+  // Frames 1..5 contribute 3 instances each (ME, EE, LF).
+  EXPECT_EQ(result.trace.instances.size(), 2u + 5u * 3u);
+}
+
+TEST(Encoder, ReconstructionQualityIsReasonable) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto result = generate_h264_workload(set, small_config(6));
+  EXPECT_GT(result.mean_psnr, 28.0);  // lossy but recognizable
+  EXPECT_LT(result.mean_psnr, 99.0);  // actually lossy
+}
+
+TEST(Encoder, TraceContainsOnlyHotSpotSis) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto result = generate_h264_workload(set, small_config(4));
+  for (const auto& inst : result.trace.instances) {
+    const auto& allowed = result.trace.hot_spots[inst.hot_spot].sis;
+    for (SiId si : inst.executions)
+      EXPECT_NE(std::find(allowed.begin(), allowed.end(), si), allowed.end())
+          << "SI " << si << " in hot spot " << result.trace.hot_spots[inst.hot_spot].name;
+  }
+}
+
+TEST(Encoder, DeterministicTraces) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto a = generate_h264_workload(set, small_config(4));
+  const auto b = generate_h264_workload(set, small_config(4));
+  ASSERT_EQ(a.trace.instances.size(), b.trace.instances.size());
+  for (std::size_t i = 0; i < a.trace.instances.size(); ++i)
+    EXPECT_EQ(a.trace.instances[i].executions, b.trace.instances[i].executions);
+}
+
+TEST(Encoder, MotionPhaseModulatesSearchEffort) {
+  // Data dependence: per-frame ME counts vary (non-constant search effort).
+  const auto set = h264sis::build_h264_si_set();
+  const auto result = generate_h264_workload(set, small_config(12));
+  std::vector<std::size_t> me_counts;
+  for (const auto& inst : result.trace.instances)
+    if (inst.hot_spot == kHotSpotMe) me_counts.push_back(inst.executions.size());
+  ASSERT_GE(me_counts.size(), 5u);
+  const auto [min_it, max_it] = std::minmax_element(me_counts.begin(), me_counts.end());
+  EXPECT_GT(*max_it, *min_it);
+}
+
+TEST(Workload, CifMeCountsNearPaperProfile) {
+  // Figure 2: 31,977 SAD+SATD executions in one frame's ME hot spot. Our
+  // synthetic sequence lands in the same band (20K-40K).
+  const auto set = h264sis::build_h264_si_set();
+  WorkloadConfig config;  // full CIF
+  config.frames = 3;
+  const auto result = generate_h264_workload(set, config);
+  std::vector<std::size_t> me_counts;
+  for (const auto& inst : result.trace.instances)
+    if (inst.hot_spot == kHotSpotMe) me_counts.push_back(inst.executions.size());
+  ASSERT_EQ(me_counts.size(), 2u);
+  for (std::size_t c : me_counts) {
+    EXPECT_GT(c, 20'000u);
+    EXPECT_LT(c, 45'000u);
+  }
+}
+
+TEST(Workload, SeedsCoverEveryHotSpotSi) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto seeds = default_forecast_seeds(set);
+  ASSERT_EQ(seeds.size(), 3u);
+  const H264SiIds ids = resolve_si_ids(set);
+  EXPECT_GT(seeds[kHotSpotMe][ids.sad], 0u);
+  EXPECT_GT(seeds[kHotSpotMe][ids.satd], 0u);
+  EXPECT_GT(seeds[kHotSpotEe][ids.mc], 0u);
+  EXPECT_GT(seeds[kHotSpotLf][ids.lf_bs4], 0u);
+}
+
+TEST(Workload, ResolveSiIdsThrowsOnForeignSet) {
+  AtomLibrary lib;
+  lib.add({"X", 1, 2, 100});
+  SpecialInstructionSet set(std::move(lib));
+  EXPECT_THROW(resolve_si_ids(set), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rispp::h264

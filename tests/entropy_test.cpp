@@ -1,0 +1,154 @@
+// Tests for bit I/O, Exp-Golomb codes and the run-level residual coder.
+#include <gtest/gtest.h>
+
+#include "base/prng.h"
+#include "h264/bitstream.h"
+#include "h264/entropy.h"
+
+namespace rispp::h264 {
+namespace {
+
+TEST(BitIo, WriteReadRoundTrip) {
+  BitWriter writer;
+  writer.put_bits(0b101, 3);
+  writer.put_bit(true);
+  writer.put_bits(0xAB, 8);
+  writer.put_bits(0x12345, 20);
+  EXPECT_EQ(writer.bit_count(), 32u);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(3), 0b101u);
+  EXPECT_TRUE(reader.get_bit());
+  EXPECT_EQ(reader.get_bits(8), 0xABu);
+  EXPECT_EQ(reader.get_bits(20), 0x12345u);
+}
+
+TEST(BitIo, AlignPadsWithZeros) {
+  BitWriter writer;
+  writer.put_bits(0b11, 2);
+  writer.align();
+  EXPECT_EQ(writer.bit_count(), 8u);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(8), 0b11000000u);
+}
+
+TEST(BitIo, ReadingPastEndThrows) {
+  BitWriter writer;
+  writer.put_bits(0xFF, 8);
+  BitReader reader(writer.bytes());
+  reader.get_bits(8);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_THROW(reader.get_bits(1), std::logic_error);
+}
+
+TEST(ExpGolomb, KnownCodewords) {
+  // H.264 Table 9-1: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100", ...
+  auto bits_of = [](std::uint32_t value) {
+    BitWriter w;
+    write_ue(w, value);
+    return w.bit_count();
+  };
+  EXPECT_EQ(bits_of(0), 1u);
+  EXPECT_EQ(bits_of(1), 3u);
+  EXPECT_EQ(bits_of(2), 3u);
+  EXPECT_EQ(bits_of(3), 5u);
+  EXPECT_EQ(bits_of(6), 5u);
+  EXPECT_EQ(bits_of(7), 7u);
+
+  BitWriter w;
+  write_ue(w, 3);  // 00100
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(5), 0b00100u);
+}
+
+class ExpGolombRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpGolombRoundTrip, UnsignedAndSigned) {
+  Xoshiro256 rng(GetParam());
+  BitWriter writer;
+  std::vector<std::uint32_t> ue_values;
+  std::vector<std::int32_t> se_values;
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.bounded(100'000));
+    const auto s = static_cast<std::int32_t>(rng.range(-50'000, 50'000));
+    ue_values.push_back(u);
+    se_values.push_back(s);
+    write_ue(writer, u);
+    write_se(writer, s);
+  }
+  BitReader reader(writer.bytes());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(read_ue(reader), ue_values[i]);
+    EXPECT_EQ(read_se(reader), se_values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpGolombRoundTrip, ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(ResidualCoder, ZigZagIsAPermutation) {
+  bool seen[16] = {};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_GE(kZigZag4x4[i], 0);
+    ASSERT_LT(kZigZag4x4[i], 16);
+    EXPECT_FALSE(seen[kZigZag4x4[i]]);
+    seen[kZigZag4x4[i]] = true;
+  }
+}
+
+TEST(ResidualCoder, AllZeroBlockIsOneBit) {
+  BitWriter writer;
+  const int levels[16] = {};
+  EXPECT_EQ(encode_residual_block(writer, levels), 1u);  // ue(0) = "1"
+  BitReader reader(writer.bytes());
+  int decoded[16];
+  decode_residual_block(reader, decoded);
+  for (int v : decoded) EXPECT_EQ(v, 0);
+}
+
+TEST(ResidualCoder, DcOnlyBlock) {
+  BitWriter writer;
+  int levels[16] = {};
+  levels[0] = -3;
+  encode_residual_block(writer, levels);
+  BitReader reader(writer.bytes());
+  int decoded[16];
+  decode_residual_block(reader, decoded);
+  EXPECT_EQ(decoded[0], -3);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(decoded[i], 0);
+}
+
+class ResidualRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResidualRoundTrip, RandomSparseBlocks) {
+  Xoshiro256 rng(GetParam());
+  BitWriter writer;
+  std::vector<std::array<int, 16>> blocks;
+  for (int b = 0; b < 50; ++b) {
+    std::array<int, 16> levels{};
+    const int nonzero = static_cast<int>(rng.bounded(9));
+    for (int k = 0; k < nonzero; ++k)
+      levels[rng.bounded(16)] = static_cast<int>(rng.range(-40, 40));
+    blocks.push_back(levels);
+    encode_residual_block(writer, levels.data());
+  }
+  BitReader reader(writer.bytes());
+  for (const auto& expected : blocks) {
+    int decoded[16];
+    decode_residual_block(reader, decoded);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(decoded[i], expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResidualRoundTrip, ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(ResidualCoder, SparseBlocksCostFewerBits) {
+  int dense[16], sparse[16] = {};
+  for (int i = 0; i < 16; ++i) dense[i] = i % 2 == 0 ? 5 : -5;
+  sparse[0] = 5;
+  BitWriter dense_writer, sparse_writer;
+  const auto dense_bits = encode_residual_block(dense_writer, dense);
+  const auto sparse_bits = encode_residual_block(sparse_writer, sparse);
+  EXPECT_GT(dense_bits, sparse_bits);
+}
+
+}  // namespace
+}  // namespace rispp::h264

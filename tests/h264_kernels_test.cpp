@@ -1,0 +1,291 @@
+// Tests of the functional H.264 kernels against naive references and their
+// algebraic identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/prng.h"
+#include "h264/deblock.h"
+#include "h264/frame.h"
+#include "h264/interpolate.h"
+#include "h264/intra.h"
+#include "h264/kernels.h"
+#include "h264/quant.h"
+#include "h264/synthetic_video.h"
+#include "h264/transform.h"
+
+namespace rispp::h264 {
+namespace {
+
+Plane random_plane(Xoshiro256& rng, int w, int h) {
+  Plane p(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) p.at(x, y) = static_cast<Pixel>(rng.bounded(256));
+  return p;
+}
+
+TEST(PlaneTest, ClampedAccess) {
+  Plane p(4, 4);
+  p.at(0, 0) = 10;
+  p.at(3, 3) = 99;
+  EXPECT_EQ(p.at_clamped(-5, -5), 10);
+  EXPECT_EQ(p.at_clamped(100, 100), 99);
+  EXPECT_THROW((void)p.at(4, 0), std::logic_error);
+}
+
+TEST(SadTest, MatchesNaiveReference) {
+  Xoshiro256 rng(1);
+  const Plane a = random_plane(rng, 64, 64);
+  const Plane b = random_plane(rng, 64, 64);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int cx = static_cast<int>(rng.bounded(48));
+    const int cy = static_cast<int>(rng.bounded(48));
+    const int rx = static_cast<int>(rng.range(-8, 55));
+    const int ry = static_cast<int>(rng.range(-8, 55));
+    std::uint32_t expected = 0;
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 16; ++x)
+        expected += static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(a.at(cx + x, cy + y)) - b.at_clamped(rx + x, ry + y)));
+    EXPECT_EQ(sad_16x16(a, cx, cy, b, rx, ry), expected);
+  }
+}
+
+TEST(SadTest, ZeroForIdenticalBlocks) {
+  Xoshiro256 rng(2);
+  const Plane a = random_plane(rng, 32, 32);
+  EXPECT_EQ(sad_16x16(a, 8, 8, a, 8, 8), 0u);
+}
+
+TEST(SatdTest, ZeroForIdenticalBlocks) {
+  Xoshiro256 rng(3);
+  const Plane a = random_plane(rng, 32, 32);
+  EXPECT_EQ(satd_4x4(a, 4, 4, a, 4, 4), 0u);
+  EXPECT_EQ(satd_16x16(a, 8, 8, a, 8, 8), 0u);
+}
+
+TEST(SatdTest, DcDifferenceTransformsToSingleCoefficient) {
+  // A constant residual d concentrates in the DC coefficient: SATD of a 4x4
+  // block with constant difference d is |16*d|/2 = 8*|d|.
+  Plane a(8, 8, 100), b(8, 8, 90);
+  EXPECT_EQ(satd_4x4(a, 0, 0, b, 0, 0), 80u);
+}
+
+TEST(SatdTest, SatdLowerBoundedByHalfSad) {
+  // Cauchy–Schwarz/Parseval: sum|H(d)| >= sum|d| per 4x4 block, so
+  // 2*SATD >= SAD (up to the 16 floor-divisions of the /2 normalization).
+  Xoshiro256 rng(4);
+  const Plane a = random_plane(rng, 32, 32);
+  const Plane b = random_plane(rng, 32, 32);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int x = static_cast<int>(rng.bounded(16));
+    const int y = static_cast<int>(rng.bounded(16));
+    EXPECT_GE(2 * satd_16x16(a, x, y, b, x, y) + 32, sad_16x16(a, x, y, b, x, y));
+  }
+}
+
+TEST(SatdTest, Blockwise16x16Decomposition) {
+  Xoshiro256 rng(5);
+  const Plane a = random_plane(rng, 32, 32);
+  const Plane b = random_plane(rng, 32, 32);
+  std::uint32_t sum = 0;
+  for (int by = 0; by < 16; by += 4)
+    for (int bx = 0; bx < 16; bx += 4) sum += satd_4x4(a, bx, by, b, bx, by);
+  EXPECT_EQ(satd_16x16(a, 0, 0, b, 0, 0), sum);
+}
+
+TEST(TransformTest, DctRoundTripIsExactUpTo400) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    int in[16], coeff[16], out[16];
+    for (int& v : in) v = static_cast<int>(rng.range(-255, 255));
+    dct4x4(in, coeff);
+    idct4x4(coeff, out);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], 400 * in[i]);
+  }
+}
+
+TEST(TransformTest, DctOfConstantBlockIsDcOnly) {
+  int in[16], coeff[16];
+  for (int& v : in) v = 7;
+  dct4x4(in, coeff);
+  EXPECT_EQ(coeff[0], 16 * 7);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(coeff[i], 0);
+}
+
+TEST(TransformTest, Hadamard4x4InvolutionUpTo16) {
+  Xoshiro256 rng(7);
+  int in[16], mid[16], out[16];
+  for (int& v : in) v = static_cast<int>(rng.range(-1000, 1000));
+  hadamard4x4(in, mid);
+  hadamard4x4(mid, out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], 16 * in[i]);
+}
+
+TEST(TransformTest, Hadamard2x2InvolutionUpTo4) {
+  int in[4] = {13, -5, 8, 600}, mid[4], out[4];
+  hadamard2x2(in, mid);
+  hadamard2x2(mid, out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], 4 * in[i]);
+}
+
+TEST(QuantTest, StepDoublesEverySixQp) {
+  for (int qp = 0; qp + 6 <= 51; ++qp)
+    EXPECT_EQ(quant_step(qp + 6), 2 * quant_step(qp));
+}
+
+TEST(QuantTest, RoundTripErrorBoundedByStep) {
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int qp = static_cast<int>(rng.bounded(52));
+    const int v = static_cast<int>(rng.range(-5000, 5000));
+    const int rec = dequantize(quantize(v, qp), qp);
+    EXPECT_LE(std::abs(rec - v), quant_step(qp));
+  }
+}
+
+TEST(QuantTest, QuantizePreservesSignAndZero) {
+  EXPECT_EQ(quantize(0, 20), 0);
+  EXPECT_GT(quantize(10'000, 20), 0);
+  EXPECT_LT(quantize(-10'000, 20), 0);
+  EXPECT_EQ(quantize(-10'000, 20), -quantize(10'000, 20));
+}
+
+TEST(QuantTest, DescaleIdctRoundsSymmetrically) {
+  EXPECT_EQ(descale_idct(400), 1);
+  EXPECT_EQ(descale_idct(-400), -1);
+  EXPECT_EQ(descale_idct(199), 0);
+  EXPECT_EQ(descale_idct(200), 1);
+  EXPECT_EQ(descale_idct(-200), -1);
+}
+
+TEST(InterpolateTest, FullPelIsIdentity) {
+  Xoshiro256 rng(9);
+  const Plane p = random_plane(rng, 32, 32);
+  EXPECT_EQ(interpolate_half_pel(p, 5, 7, false, false), p.at(5, 7));
+}
+
+TEST(InterpolateTest, HalfPelOfConstantPlaneIsConstant)
+{
+  const Plane p(32, 32, 77);
+  EXPECT_EQ(interpolate_half_pel(p, 10, 10, true, false), 77);
+  EXPECT_EQ(interpolate_half_pel(p, 10, 10, false, true), 77);
+  EXPECT_EQ(interpolate_half_pel(p, 10, 10, true, true), 77);
+}
+
+TEST(InterpolateTest, HorizontalHalfPelMatchesDirectFilter) {
+  Xoshiro256 rng(10);
+  const Plane p = random_plane(rng, 32, 32);
+  const int x = 10, y = 12;
+  const int raw = point_filter_6tap(p.at(x - 2, y), p.at(x - 1, y), p.at(x, y),
+                                    p.at(x + 1, y), p.at(x + 2, y), p.at(x + 3, y));
+  EXPECT_EQ(interpolate_half_pel(p, x, y, true, false), clip_pixel((raw + 16) >> 5));
+}
+
+TEST(InterpolateTest, MotionCompensationFullPelCopies) {
+  Xoshiro256 rng(11);
+  const Plane p = random_plane(rng, 64, 64);
+  Pixel dst[16 * 16];
+  motion_compensate_16x16(p, 16, 16, MotionVector{4, -6}, dst);  // (+2,-3) full pel
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) EXPECT_EQ(dst[y * 16 + x], p.at(16 + 2 + x, 16 - 3 + y));
+}
+
+TEST(InterpolateTest, NegativeHalfPelVectorDecomposition) {
+  // mv.x = -3 half-pels = -2 full + half: base floor(-3/2) = -2, half set.
+  const MotionVector mv{-3, 0};
+  EXPECT_TRUE(mv.is_half_pel());
+  Xoshiro256 rng(12);
+  const Plane p = random_plane(rng, 64, 64);
+  Pixel dst[16 * 16];
+  motion_compensate_16x16(p, 32, 32, mv, dst);
+  EXPECT_EQ(dst[0], interpolate_half_pel(p, 32 - 2, 32, true, false));
+}
+
+TEST(IntraTest, HdcAveragesLeftColumn) {
+  Plane recon(32, 32, 0);
+  for (int y = 0; y < 16; ++y) recon.at(15, 16 + y) = 100;
+  Pixel pred[16 * 16];
+  ipred_hdc_16x16(recon, 16, 16, pred);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(pred[i], 100);
+}
+
+TEST(IntraTest, VdcAveragesTopRow) {
+  Plane recon(32, 32, 0);
+  for (int x = 0; x < 16; ++x) recon.at(16 + x, 15) = 60;
+  Pixel pred[16 * 16];
+  ipred_vdc_16x16(recon, 16, 16, pred);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(pred[i], 60);
+}
+
+TEST(IntraTest, FrameBorderFallsBackTo128) {
+  Plane recon(32, 32, 200);
+  Pixel pred[16 * 16];
+  ipred_hdc_16x16(recon, 0, 0, pred);
+  EXPECT_EQ(pred[0], 128);
+  ipred_vdc_16x16(recon, 0, 0, pred);
+  EXPECT_EQ(pred[0], 128);
+}
+
+TEST(DeblockTest, SmoothsAHardEdge) {
+  Plane p(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) p.at(x, y) = x < 16 ? 100 : 120;
+  const DeblockThresholds th;
+  const int filtered = deblock_bs4_vertical(p, 16, 0, th);
+  EXPECT_EQ(filtered, 16);
+  // The step is smaller after filtering.
+  EXPECT_LT(std::abs(p.at(16, 4) - p.at(15, 4)), 20);
+}
+
+TEST(DeblockTest, LeavesStrongRealEdgesAlone) {
+  Plane p(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) p.at(x, y) = x < 16 ? 20 : 220;  // |p0-q0|=200 >= alpha
+  const DeblockThresholds th;
+  EXPECT_EQ(deblock_bs4_vertical(p, 16, 0, th), 0);
+  EXPECT_EQ(p.at(16, 4), 220);
+}
+
+TEST(DeblockTest, HorizontalMirrorsVertical) {
+  Plane v(32, 32), h(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      v.at(x, y) = x < 16 ? 100 : 118;
+      h.at(x, y) = y < 16 ? 100 : 118;
+    }
+  const DeblockThresholds th;
+  EXPECT_EQ(deblock_bs4_vertical(v, 16, 0, th), deblock_bs4_horizontal(h, 0, 16, th));
+  EXPECT_EQ(v.at(16, 3), h.at(3, 16));
+}
+
+TEST(SyntheticVideoTest, DeterministicAndMoving) {
+  VideoConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  SyntheticVideo gen1(cfg), gen2(cfg);
+  const Frame f1a = gen1.next();
+  const Frame f1b = gen2.next();
+  // Determinism: same config, same frames.
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 64; ++x) ASSERT_EQ(f1a.y.at(x, y), f1b.y.at(x, y));
+  // Motion: consecutive frames differ substantially.
+  const Frame f2 = gen1.next();
+  std::uint64_t diff = 0;
+  for (int y = 0; y < 48; ++y)
+    for (int x = 0; x < 64; ++x) diff += std::abs(static_cast<int>(f2.y.at(x, y)) - f1a.y.at(x, y));
+  EXPECT_GT(diff, 1000u);
+}
+
+TEST(PsnrTest, IdenticalIs99AndNoisyIsFinite) {
+  Frame a(32, 32), b(32, 32);
+  EXPECT_EQ(psnr_y(a, a), 99.0);
+  b.y.at(3, 3) = 50;
+  const double p = psnr_y(a, b);
+  EXPECT_GT(p, 20.0);
+  EXPECT_LT(p, 99.0);
+}
+
+}  // namespace
+}  // namespace rispp::h264

@@ -1,0 +1,165 @@
+// Tests for the §4.1 Molecule assembly model, including property-based
+// checks of the algebraic laws the paper states: (ℕⁿ, ∪) and (ℕⁿ, ∩) are
+// Abelian semi-groups with neutral elements, ≤ is a partial order, and the
+// structure is a complete lattice.
+#include "alg/molecule.h"
+
+#include <gtest/gtest.h>
+
+#include "base/prng.h"
+
+namespace rispp {
+namespace {
+
+Molecule random_molecule(Xoshiro256& rng, std::size_t dim, AtomCount max_count) {
+  Molecule m(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    m[i] = static_cast<AtomCount>(rng.bounded(max_count + 1));
+  return m;
+}
+
+TEST(Molecule, ZeroConstructionAndAccess) {
+  Molecule m(4);
+  EXPECT_EQ(m.dimension(), 4u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.determinant(), 0u);
+  m[2] = 5;
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.determinant(), 5u);
+  EXPECT_EQ(m.type_count(), 1u);
+}
+
+TEST(Molecule, InitializerList) {
+  Molecule m{1, 0, 3};
+  EXPECT_EQ(m.dimension(), 3u);
+  EXPECT_EQ(m.determinant(), 4u);
+  EXPECT_EQ(m.type_count(), 2u);
+  EXPECT_EQ(m.to_string(), "(1,0,3)");
+}
+
+TEST(Molecule, UnitMolecules) {
+  const Molecule u1 = Molecule::unit(3, 0);
+  EXPECT_EQ(u1, (Molecule{1, 0, 0}));
+  const Molecule u3 = Molecule::unit(3, 2);
+  EXPECT_EQ(u3, (Molecule{0, 0, 1}));
+  EXPECT_EQ(u3.determinant(), 1u);
+}
+
+TEST(Molecule, JoinIsComponentwiseMax) {
+  EXPECT_EQ(join({1, 4, 0}, {2, 2, 2}), (Molecule{2, 4, 2}));
+}
+
+TEST(Molecule, MeetIsComponentwiseMin) {
+  EXPECT_EQ(meet({1, 4, 0}, {2, 2, 2}), (Molecule{1, 2, 0}));
+}
+
+TEST(Molecule, PaperExampleOrdering) {
+  // §4.3: m2=(2,2) and m4=(1,3) are incomparable.
+  const Molecule m2{2, 2}, m4{1, 3};
+  EXPECT_FALSE(leq(m2, m4));
+  EXPECT_FALSE(leq(m4, m2));
+  EXPECT_TRUE(leq(m2, join(m2, m4)));
+  EXPECT_TRUE(leq(m4, join(m2, m4)));
+  EXPECT_EQ(join(m2, m4), (Molecule{2, 3}));
+  EXPECT_EQ(meet(m2, m4), (Molecule{1, 2}));
+}
+
+TEST(Molecule, MissingOperator) {
+  // a ⊖ m: atoms still to load for m when a is available (paper's example:
+  // m4=(1,3) is cheap for a=(0,3)).
+  const Molecule a{0, 3};
+  EXPECT_EQ(missing(a, {1, 3}), (Molecule{1, 0}));
+  EXPECT_EQ(missing(a, {2, 2}), (Molecule{2, 0}));
+  EXPECT_EQ(missing(a, {0, 0}), (Molecule{0, 0}));
+  EXPECT_EQ(missing(Molecule{5, 5}, {2, 2}), (Molecule{0, 0}));
+}
+
+TEST(Molecule, SupAndInfOverSets) {
+  const std::vector<Molecule> set{{1, 2, 0}, {0, 3, 1}, {2, 0, 0}};
+  EXPECT_EQ(sup(set, 3), (Molecule{2, 3, 1}));
+  EXPECT_EQ(inf(set), (Molecule{0, 0, 0}));
+  EXPECT_EQ(sup(std::vector<Molecule>{}, 3), Molecule(3));
+}
+
+TEST(Molecule, SupremumBoundsEveryElement) {
+  const std::vector<Molecule> set{{1, 7}, {4, 2}, {3, 3}};
+  const Molecule s = sup(set, 2);
+  for (const auto& m : set) EXPECT_TRUE(leq(m, s));
+}
+
+TEST(Molecule, UnitDecompositionMatchesCounts) {
+  const Molecule m{2, 0, 1};
+  const auto units = unit_decomposition(m);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0], 0);
+  EXPECT_EQ(units[1], 0);
+  EXPECT_EQ(units[2], 2);
+}
+
+TEST(Molecule, DimensionMismatchThrows) {
+  EXPECT_THROW(join(Molecule{1}, Molecule{1, 2}), std::logic_error);
+  EXPECT_THROW((void)leq(Molecule{1}, Molecule{1, 2}), std::logic_error);
+}
+
+TEST(Molecule, InfOfEmptySetThrows) {
+  EXPECT_THROW(inf(std::vector<Molecule>{}), std::logic_error);
+}
+
+// ---- Property-based lattice laws ----------------------------------------
+
+class MoleculeLatticeLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoleculeLatticeLaws, SemigroupAndLatticeProperties) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t dim = 1 + rng.bounded(8);
+  const Molecule a = random_molecule(rng, dim, 6);
+  const Molecule b = random_molecule(rng, dim, 6);
+  const Molecule c = random_molecule(rng, dim, 6);
+  const Molecule zero(dim);
+
+  // Commutativity and associativity of ∪ and ∩ (Abelian semi-groups).
+  EXPECT_EQ(join(a, b), join(b, a));
+  EXPECT_EQ(meet(a, b), meet(b, a));
+  EXPECT_EQ(join(a, join(b, c)), join(join(a, b), c));
+  EXPECT_EQ(meet(a, meet(b, c)), meet(meet(a, b), c));
+
+  // Neutral element of ∪ is (0,...,0).
+  EXPECT_EQ(join(a, zero), a);
+
+  // Idempotence and absorption (lattice laws).
+  EXPECT_EQ(join(a, a), a);
+  EXPECT_EQ(meet(a, a), a);
+  EXPECT_EQ(join(a, meet(a, b)), a);
+  EXPECT_EQ(meet(a, join(a, b)), a);
+
+  // ≤ is reflexive; antisymmetry; transitivity via join-characterization.
+  EXPECT_TRUE(leq(a, a));
+  if (leq(a, b) && leq(b, a)) {
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_TRUE(leq(meet(a, b), a));
+  EXPECT_TRUE(leq(a, join(a, b)));
+  // leq(a,b) iff join(a,b)==b iff meet(a,b)==a.
+  EXPECT_EQ(leq(a, b), join(a, b) == b);
+  EXPECT_EQ(leq(a, b), meet(a, b) == a);
+
+  // ⊖ law: loading exactly the missing atoms on top of a yields a ∪ b —
+  // componentwise a + (a ⊖ b) == max(a, b). This is why HEF line 26/27 can
+  // push the unit decomposition of a ⊖ m and then update a ← a ∪ m.
+  const Molecule delta = missing(a, b);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(a[i] + delta[i], join(a, b)[i]);
+    EXPECT_GE(a[i] + delta[i], b[i]);
+  }
+  EXPECT_EQ(join(a, b).determinant(), a.determinant() + delta.determinant());
+
+  // Determinant is monotone along the order.
+  EXPECT_LE(meet(a, b).determinant(), a.determinant());
+  EXPECT_GE(join(a, b).determinant(), a.determinant());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MoleculeLatticeLaws,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace rispp

@@ -1,0 +1,80 @@
+// Tests for the online execution monitor / forecaster.
+#include <gtest/gtest.h>
+
+#include "monitor/forecast.h"
+
+namespace rispp {
+namespace {
+
+TEST(Monitor, SeedsAreReturnedBeforeAnyMeasurement) {
+  ExecutionMonitor mon(2, 3);
+  mon.seed(0, 1, 500);
+  EXPECT_EQ(mon.forecast(0)[1], 500u);
+  EXPECT_EQ(mon.forecast(0)[0], 0u);
+  EXPECT_EQ(mon.forecast(1)[1], 0u);
+}
+
+TEST(Monitor, ExponentialUpdateHalvesTowardMeasurement) {
+  ExecutionMonitor mon(1, 2);
+  mon.seed(0, 0, 1000);
+  mon.begin_hot_spot(0);
+  for (int i = 0; i < 2000; ++i) mon.record_execution(0);
+  mon.end_hot_spot();
+  EXPECT_EQ(mon.forecast(0)[0], 1500u);  // (1000 + 2000) / 2
+  EXPECT_EQ(mon.last_measured(0)[0], 2000u);
+
+  mon.begin_hot_spot(0);
+  mon.end_hot_spot();  // zero executions this time
+  EXPECT_EQ(mon.forecast(0)[0], 750u);
+}
+
+TEST(Monitor, ConvergesToStationaryWorkload) {
+  ExecutionMonitor mon(1, 1);
+  mon.seed(0, 0, 0);
+  for (int round = 0; round < 20; ++round) {
+    mon.begin_hot_spot(0);
+    for (int i = 0; i < 640; ++i) mon.record_execution(0);
+    mon.end_hot_spot();
+  }
+  // f' = (f + 640)/2 converges to 639..640 with integer floor.
+  EXPECT_NEAR(static_cast<double>(mon.forecast(0)[0]), 640.0, 2.0);
+}
+
+TEST(Monitor, HotSpotsAreIndependent) {
+  ExecutionMonitor mon(2, 1);
+  mon.begin_hot_spot(0);
+  mon.record_execution(0);
+  mon.end_hot_spot();
+  EXPECT_EQ(mon.forecast(1)[0], 0u);
+}
+
+TEST(Monitor, NestedHotSpotsRejected) {
+  ExecutionMonitor mon(1, 1);
+  mon.begin_hot_spot(0);
+  EXPECT_THROW(mon.begin_hot_spot(0), std::logic_error);
+  mon.end_hot_spot();
+  EXPECT_THROW(mon.end_hot_spot(), std::logic_error);
+}
+
+TEST(Monitor, RecordOutsideHotSpotRejected) {
+  ExecutionMonitor mon(1, 1);
+  EXPECT_THROW(mon.record_execution(0), std::logic_error);
+}
+
+TEST(Monitor, TracksOscillatingWorkloadWithinHalfStep) {
+  // The paper's motivation: per-frame counts vary with motion. An
+  // alternating 100/300 load keeps the forecast between the extremes.
+  ExecutionMonitor mon(1, 1);
+  mon.seed(0, 0, 200);
+  for (int round = 0; round < 30; ++round) {
+    const int n = round % 2 == 0 ? 100 : 300;
+    mon.begin_hot_spot(0);
+    for (int i = 0; i < n; ++i) mon.record_execution(0);
+    mon.end_hot_spot();
+  }
+  EXPECT_GE(mon.forecast(0)[0], 100u);
+  EXPECT_LE(mon.forecast(0)[0], 300u);
+}
+
+}  // namespace
+}  // namespace rispp

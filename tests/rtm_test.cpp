@@ -1,0 +1,225 @@
+// Integration tests of the Run-Time Manager: gradual upgrading, trap
+// fallback, reconfiguration interleaving, eviction across hot spots, and
+// the Molen baseline contrast.
+#include <gtest/gtest.h>
+
+#include "baselines/molen.h"
+#include "baselines/software_only.h"
+#include "baselines/static_asip.h"
+#include "h264/workload.h"
+#include "isa/h264_si_library.h"
+#include "rtm/run_time_manager.h"
+#include "sched/hef.h"
+#include "sched/registry.h"
+#include "sim/executor.h"
+
+namespace rispp {
+namespace {
+
+/// A long single-hot-spot trace over SAD+SATD (an ME instance).
+WorkloadTrace me_trace(const SpecialInstructionSet& set, int executions) {
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad, satd}, 8}};
+  HotSpotInstance inst;
+  inst.hot_spot = 0;
+  inst.entry_overhead = 1000;
+  for (int i = 0; i < executions; ++i)
+    inst.executions.push_back(i % 8 == 7 ? satd : sad);
+  trace.instances.push_back(std::move(inst));
+  return trace;
+}
+
+RtmConfig config_with(const AtomScheduler* scheduler, unsigned acs) {
+  RtmConfig config;
+  config.container_count = acs;
+  config.scheduler = scheduler;
+  return config;
+}
+
+TEST(RunTimeManager, StartsInSoftwareAndUpgrades) {
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 1, config_with(&hef, 12));
+  rtm.seed_forecast(0, sad, 10'000);
+  rtm.seed_forecast(0, set.find("SATD").value(), 1'500);
+
+  const WorkloadTrace trace = me_trace(set, 4'000);
+  SimStats stats(set.si_count());
+  const SimResult result = run_trace(trace, rtm, &stats);
+
+  // The latency timeline of SAD must start at the trap latency and descend.
+  const auto& tl = stats.latency_timeline(sad);
+  ASSERT_GE(tl.size(), 2u);
+  EXPECT_EQ(tl.front().latency, set.si(sad).software_latency);
+  for (std::size_t i = 1; i < tl.size(); ++i) EXPECT_LT(tl[i].latency, tl[i - 1].latency);
+  EXPECT_LT(tl.back().latency, 40u);
+  EXPECT_GT(result.atom_loads, 0u);
+}
+
+TEST(RunTimeManager, GradualUpgradeBeatsNoUpgradeBaseline) {
+  // The Figure 2 claim: with stepwise upgrades the hot spot finishes earlier
+  // than with single-implementation (Molen-like) SIs.
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 12'000);
+
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 3, config_with(&hef, 14));
+  h264::seed_default_forecasts(set, rtm);
+  const SimResult upgraded = run_trace(trace, rtm);
+
+  MolenConfig mc;
+  mc.container_count = 14;
+  MolenBackend molen(&set, 3, mc);
+  h264::seed_default_forecasts(set, molen);
+  const SimResult fixed = run_trace(trace, molen);
+
+  EXPECT_LT(upgraded.total_cycles, fixed.total_cycles);
+}
+
+TEST(RunTimeManager, ZeroContainersBehavesLikeSoftware) {
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 500);
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 3, config_with(&hef, 0));
+  h264::seed_default_forecasts(set, rtm);
+  SoftwareOnlyBackend sw(&set);
+  EXPECT_EQ(run_trace(trace, rtm).total_cycles, run_trace(trace, sw).total_cycles);
+}
+
+TEST(RunTimeManager, MoreContainersNeverSlower) {
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 8'000);
+  Cycles prev = kMaxCycles;
+  for (unsigned acs : {4u, 8u, 12u, 17u}) {
+    HefScheduler hef;
+    RunTimeManager rtm(&set, 3, config_with(&hef, acs));
+    h264::seed_default_forecasts(set, rtm);
+    const Cycles t = run_trace(trace, rtm).total_cycles;
+    EXPECT_LE(t, prev) << acs;
+    prev = t;
+  }
+}
+
+TEST(RunTimeManager, WarmStartSkipsReloadingResidentAtoms) {
+  const auto set = h264sis::build_h264_si_set();
+  WorkloadTrace trace = me_trace(set, 6'000);
+  // Append a second identical ME instance: its schedule should need almost
+  // no additional loads.
+  trace.instances.push_back(trace.instances.front());
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 3, config_with(&hef, 17));
+  h264::seed_default_forecasts(set, rtm);
+  SimStats stats(set.si_count());
+  (void)run_trace(trace, rtm, &stats);
+  // Second instance runs at full speed immediately: the latency timeline has
+  // no regression back to software.
+  const SiId sad = set.find("SAD").value();
+  const auto& tl = stats.latency_timeline(sad);
+  for (std::size_t i = 1; i < tl.size(); ++i)
+    EXPECT_LE(tl[i].latency, tl[i - 1].latency);
+}
+
+TEST(RunTimeManager, EvictionRepurposesContainersAcrossHotSpots) {
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId dct = set.find("(I)DCT").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad}, 8}, HotSpotInfo{"EE", {dct}, 8}};
+  // Alternate hot spots; 4 containers force eviction at each switch.
+  for (int rep = 0; rep < 4; ++rep) {
+    trace.instances.push_back(HotSpotInstance{0, std::vector<SiId>(3000, sad), 1000});
+    trace.instances.push_back(HotSpotInstance{1, std::vector<SiId>(3000, dct), 1000});
+  }
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 2, config_with(&hef, 4));
+  rtm.seed_forecast(0, sad, 3000);
+  rtm.seed_forecast(1, dct, 3000);
+  const SimResult r = run_trace(trace, rtm);
+  // Each switch reloads: far more loads than the 4 containers.
+  EXPECT_GT(r.atom_loads, 12u);
+  // Fewer cycles than software-only nevertheless.
+  SoftwareOnlyBackend sw(&set);
+  EXPECT_LT(r.total_cycles, run_trace(trace, sw).total_cycles);
+}
+
+TEST(RunTimeManager, MonitoringAdaptsForecastsAcrossInstances) {
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  WorkloadTrace trace = me_trace(set, 2'000);
+  trace.instances.push_back(trace.instances.front());
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 1, config_with(&hef, 10));
+  rtm.seed_forecast(0, sad, 1);  // wildly wrong seed
+  (void)run_trace(trace, rtm);
+  // After two instances the forecast reflects the measured ~1750 SADs.
+  EXPECT_GT(rtm.monitor().forecast(0)[sad], 1'000u);
+}
+
+TEST(RunTimeManager, PrefetchStartsNextHotSpotsAtomsEarly) {
+  // Alternating ME/EE style hot spots with spare containers: with prefetch
+  // the port keeps working between hot spots, so entries find more atoms
+  // resident and the run is never slower.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId dct = set.find("(I)DCT").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad}, 8}, HotSpotInfo{"EE", {dct}, 8}};
+  for (int rep = 0; rep < 6; ++rep) {
+    trace.instances.push_back(HotSpotInstance{0, std::vector<SiId>(20'000, sad), 1000});
+    trace.instances.push_back(HotSpotInstance{1, std::vector<SiId>(6'000, dct), 1000});
+  }
+  Cycles cycles[2];
+  for (int pf = 0; pf < 2; ++pf) {
+    HefScheduler hef;
+    RtmConfig config = config_with(&hef, 14);
+    config.enable_prefetch = pf == 1;
+    RunTimeManager rtm(&set, 2, config);
+    rtm.seed_forecast(0, sad, 20'000);
+    rtm.seed_forecast(1, dct, 6'000);
+    cycles[pf] = run_trace(trace, rtm).total_cycles;
+  }
+  EXPECT_LE(cycles[1], cycles[0]);
+}
+
+TEST(Molen, NoIntermediateAcceleration) {
+  // Until the full selected molecule is loaded, Molen runs in software even
+  // though a subset of its atoms is configured.
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 10'000);
+  MolenConfig mc;
+  mc.container_count = 17;
+  MolenBackend molen(&set, 3, mc);
+  h264::seed_default_forecasts(set, molen);
+  SimStats stats(set.si_count());
+  (void)run_trace(trace, molen, &stats);
+  const SiId sad = set.find("SAD").value();
+  const auto& tl = stats.latency_timeline(sad);
+  // Exactly one downward step: software -> selected molecule.
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].latency, set.si(sad).software_latency);
+  const SiId satd = set.find("SATD").value();
+  const auto& tl2 = stats.latency_timeline(satd);
+  ASSERT_LE(tl2.size(), 2u);  // same: one step at most
+}
+
+TEST(StaticAsip, IsTheLowerBound) {
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 5'000);
+  StaticAsipBackend asip(&set);
+  const Cycles bound = run_trace(trace, asip).total_cycles;
+  for (const auto& name : scheduler_names()) {
+    auto sched = make_scheduler(name);
+    RunTimeManager rtm(&set, 3, config_with(sched.get(), 24));
+    h264::seed_default_forecasts(set, rtm);
+    EXPECT_GE(run_trace(trace, rtm).total_cycles, bound) << name;
+  }
+  // And the paper's Figure 1 overhead remark: dedicated hardware for all SIs
+  // far exceeds any AC budget evaluated.
+  EXPECT_GT(asip.dedicated_atoms(), 24u * 2);
+}
+
+}  // namespace
+}  // namespace rispp

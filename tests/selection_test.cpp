@@ -1,0 +1,154 @@
+// Tests for the Molecule selection substrate (NA <= #ACs guarantee, profit
+// behaviour, budget monotonicity).
+#include <gtest/gtest.h>
+
+#include "isa/h264_si_library.h"
+#include "base/prng.h"
+#include "select/optimal.h"
+#include "select/selection.h"
+
+namespace rispp {
+namespace {
+
+SelectionRequest h264_me_request(const SpecialInstructionSet& set, unsigned acs) {
+  SelectionRequest req;
+  req.set = &set;
+  req.hot_spot_sis = {set.find("SAD").value(), set.find("SATD").value()};
+  req.expected_executions.assign(set.si_count(), 0);
+  req.expected_executions[req.hot_spot_sis[0]] = 24'000;
+  req.expected_executions[req.hot_spot_sis[1]] = 3'600;
+  req.container_count = acs;
+  return req;
+}
+
+TEST(Selection, RespectsContainerBudget) {
+  const auto set = h264sis::build_h264_si_set();
+  for (unsigned acs = 0; acs <= 24; ++acs) {
+    const auto req = h264_me_request(set, acs);
+    const auto selection = select_molecules(req);
+    EXPECT_LE(selection_atom_count(set, selection), acs) << acs;
+  }
+}
+
+TEST(Selection, ZeroBudgetSelectsNothing) {
+  const auto set = h264sis::build_h264_si_set();
+  EXPECT_TRUE(select_molecules(h264_me_request(set, 0)).empty());
+}
+
+TEST(Selection, AtMostOneMoleculePerSi) {
+  const auto set = h264sis::build_h264_si_set();
+  const auto selection = select_molecules(h264_me_request(set, 20));
+  std::vector<bool> seen(set.si_count(), false);
+  for (const SiRef& s : selection) {
+    EXPECT_FALSE(seen[s.si]);
+    seen[s.si] = true;
+  }
+}
+
+TEST(Selection, LargerBudgetNeverWorsensTotalBenefit) {
+  const auto set = h264sis::build_h264_si_set();
+  auto benefit_of = [&](const std::vector<SiRef>& sel,
+                        const SelectionRequest& req) {
+    long double total = 0.0L;
+    for (const SiRef& s : sel) {
+      const Cycles gain = set.si(s.si).software_latency - set.latency(s);
+      total += static_cast<long double>(req.expected_executions[s.si]) * gain;
+    }
+    return total;
+  };
+  long double prev = -1.0L;
+  for (unsigned acs = 4; acs <= 24; acs += 2) {
+    const auto req = h264_me_request(set, acs);
+    const long double b = benefit_of(select_molecules(req), req);
+    EXPECT_GE(b, prev) << "budget " << acs;
+    prev = b;
+  }
+}
+
+TEST(Selection, PrefersTheHeavilyExecutedSi) {
+  // With a budget that fits only one SI's molecule, the hot one wins.
+  const auto set = h264sis::build_h264_si_set();
+  SelectionRequest req;
+  req.set = &set;
+  const SiId sad = set.find("SAD").value();
+  const SiId lf = set.find("LF_BS4").value();
+  req.hot_spot_sis = {sad, lf};
+  req.expected_executions.assign(set.si_count(), 0);
+  req.expected_executions[sad] = 50'000;
+  req.expected_executions[lf] = 10;
+  req.container_count = 3;
+  const auto selection = select_molecules(req);
+  ASSERT_FALSE(selection.empty());
+  for (const SiRef& s : selection) EXPECT_EQ(s.si, sad);
+}
+
+TEST(Selection, SharedAtomsMakeJointSelectionCheaper) {
+  // SATD and (I)HT 4x4 share HadCore/SAV: selecting both must cost less than
+  // the sum of their individual atom counts.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId satd = set.find("SATD").value();
+  const SiId ht4 = set.find("(I)HT 4x4").value();
+  SelectionRequest req;
+  req.set = &set;
+  req.hot_spot_sis = {satd, ht4};
+  req.expected_executions.assign(set.si_count(), 0);
+  req.expected_executions[satd] = 10'000;
+  req.expected_executions[ht4] = 10'000;
+  req.container_count = 24;
+  const auto selection = select_molecules(req);
+  ASSERT_EQ(selection.size(), 2u);
+  unsigned individual = 0;
+  for (const SiRef& s : selection)
+    individual += set.si(s.si).molecule(s.mol).atoms.determinant();
+  EXPECT_LT(selection_atom_count(set, selection), individual);
+}
+
+TEST(Selection, GreedyMatchesExhaustiveOptimumOnRandomInstances) {
+  const auto set = h264sis::build_h264_si_set();
+  Xoshiro256 rng(31);
+  int within_five_percent = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SelectionRequest req;
+    req.set = &set;
+    req.expected_executions.assign(set.si_count(), 0);
+    // Two to three SIs with small molecule lists keep the search tractable.
+    const std::vector<std::string> pool{"SAD", "LF_BS4", "(I)HT 4x4", "IPred HDC",
+                                        "IPred VDC", "(I)HT 2x2"};
+    for (int k = 0; k < 3; ++k) {
+      const SiId si = set.find(pool[rng.bounded(pool.size())]).value();
+      if (std::find(req.hot_spot_sis.begin(), req.hot_spot_sis.end(), si) !=
+          req.hot_spot_sis.end())
+        continue;
+      req.hot_spot_sis.push_back(si);
+      req.expected_executions[si] = 1 + rng.bounded(20'000);
+    }
+    req.container_count = 2 + static_cast<unsigned>(rng.bounded(14));
+
+    const long double greedy = selection_benefit(req, select_molecules(req));
+    const long double optimal = selection_benefit(req, select_molecules_optimal(req));
+    EXPECT_LE(greedy, optimal + 1e-6L);
+    if (greedy >= optimal * 0.95L - 1e-6L) ++within_five_percent;
+  }
+  EXPECT_GE(within_five_percent, kTrials - 2);
+}
+
+TEST(Selection, OptimalSearchRefusesHugeInstances) {
+  const auto set = h264sis::build_h264_si_set();
+  SelectionRequest req;
+  req.set = &set;
+  req.expected_executions.assign(set.si_count(), 100);
+  for (SiId si = 0; si < set.si_count(); ++si) req.hot_spot_sis.push_back(si);
+  req.container_count = 24;
+  EXPECT_THROW(select_molecules_optimal(req), std::logic_error);
+}
+
+TEST(Selection, ZeroExpectationsSelectNothing) {
+  const auto set = h264sis::build_h264_si_set();
+  auto req = h264_me_request(set, 24);
+  req.expected_executions.assign(set.si_count(), 0);
+  EXPECT_TRUE(select_molecules(req).empty());
+}
+
+}  // namespace
+}  // namespace rispp

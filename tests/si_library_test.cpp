@@ -1,0 +1,213 @@
+// Tests of the SI abstraction and the Table 1 H.264 SI library.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "isa/candidates.h"
+#include "isa/h264_si_library.h"
+#include "isa/si.h"
+
+namespace rispp {
+namespace {
+
+using h264sis::build_h264_si_set;
+
+SpecialInstructionSet tiny_set() {
+  AtomLibrary lib;
+  lib.add({"A", 2, 40, 400});
+  lib.add({"B", 1, 30, 300});
+  SpecialInstructionSet set(std::move(lib));
+  DataPathGraph g(&set.library());
+  const auto a = g.add_layer(0, 4);
+  g.add_layer(1, 2, a);
+  set.add_si("T", std::move(g), Molecule{3, 2}, 50);
+  return set;
+}
+
+TEST(SpecialInstructionSet, BasicAccessors) {
+  const auto set = tiny_set();
+  EXPECT_EQ(set.si_count(), 1u);
+  EXPECT_EQ(set.atom_type_count(), 2u);
+  EXPECT_TRUE(set.find("T").has_value());
+  EXPECT_FALSE(set.find("U").has_value());
+  const SpecialInstruction& si = set.si(0);
+  EXPECT_EQ(si.name, "T");
+  EXPECT_EQ(si.software_latency, 4u * 40 + 2u * 30 + 50);
+  EXPECT_GE(si.molecules.size(), 2u);
+}
+
+TEST(SpecialInstructionSet, SoftwareMoleculeLatency) {
+  const auto set = tiny_set();
+  EXPECT_EQ(set.latency(SiRef{0, kSoftwareMolecule}), set.si(0).software_latency);
+}
+
+TEST(SpecialInstructionSet, FastestAvailableWalksUpgradePath) {
+  const auto set = tiny_set();
+  const SpecialInstruction& si = set.si(0);
+  // Nothing loaded -> software.
+  EXPECT_EQ(set.fastest_available(0, Molecule(2)), kSoftwareMolecule);
+  // Full sup loaded -> the fastest molecule.
+  Molecule all(2);
+  for (const auto& m : si.molecules) all = join(all, m.atoms);
+  const MoleculeId best = set.fastest_available(0, all);
+  ASSERT_NE(best, kSoftwareMolecule);
+  for (const auto& m : si.molecules) EXPECT_LE(si.molecule(best).latency, m.latency);
+  // Availability is monotone: adding atoms never increases latency.
+  Molecule partial(2);
+  Cycles prev = set.fastest_available_latency(0, partial);
+  for (AtomTypeId t = 0; t < 2; ++t) {
+    for (int k = 0; k < 3; ++k) {
+      ++partial[t];
+      const Cycles now = set.fastest_available_latency(0, partial);
+      EXPECT_LE(now, prev);
+      prev = now;
+    }
+  }
+}
+
+TEST(SpecialInstructionSet, DuplicateSiNameThrows) {
+  auto set = tiny_set();
+  DataPathGraph g(&set.library());
+  g.add_node(0);
+  EXPECT_THROW(set.add_si("T", std::move(g), Molecule{1, 0}, 10), std::logic_error);
+}
+
+// ---- Table 1 ---------------------------------------------------------------
+
+TEST(H264SiLibrary, Table1AtomTypesPerSi) {
+  const auto set = build_h264_si_set();
+  const std::map<std::string, unsigned> expected{
+      {"SAD", 1},      {"SATD", 4},      {"(I)DCT", 3},
+      {"(I)HT 2x2", 1}, {"(I)HT 4x4", 2}, {"MC 4", 3},
+      {"IPred HDC", 2}, {"IPred VDC", 1}, {"LF_BS4", 2},
+  };
+  ASSERT_EQ(set.si_count(), expected.size());
+  for (const auto& [name, types] : expected) {
+    const auto id = set.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(set.si(*id).graph.occurrences().type_count(), types) << name;
+  }
+}
+
+TEST(H264SiLibrary, Table1MoleculeCounts) {
+  const auto set = build_h264_si_set();
+  const std::map<std::string, std::size_t> expected{
+      {"SAD", 3},      {"SATD", 20},     {"(I)DCT", 12},
+      {"(I)HT 2x2", 2}, {"(I)HT 4x4", 7}, {"MC 4", 11},
+      {"IPred HDC", 4}, {"IPred VDC", 3}, {"LF_BS4", 5},
+  };
+  for (const auto& [name, count] : expected) {
+    const auto id = set.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(set.si(*id).molecules.size(), count) << name;
+  }
+}
+
+TEST(H264SiLibrary, MoleculeSetsAreConsistent) {
+  const auto set = build_h264_si_set();
+  for (SiId id = 0; id < set.si_count(); ++id) {
+    const auto& mols = set.si(id).molecules;
+    for (const auto& m : mols) {
+      EXPECT_LT(m.latency, set.si(id).software_latency);
+      for (const auto& o : mols)
+        if (o.atoms != m.atoms && leq(o.atoms, m.atoms)) {
+          EXPECT_GT(o.latency, m.latency) << set.si(id).name;
+        }
+    }
+  }
+}
+
+TEST(H264SiLibrary, ThirteenSharedAtomTypes) {
+  const auto set = build_h264_si_set();
+  EXPECT_EQ(set.atom_type_count(), 13u);
+  // HadCore is shared between SATD, (I)HT 2x2 and (I)HT 4x4 — sharing is what
+  // makes the ∪/∩ lattice across SIs non-trivial.
+  const auto had = set.library().find("HadCore");
+  ASSERT_TRUE(had.has_value());
+  unsigned users = 0;
+  for (SiId id = 0; id < set.si_count(); ++id)
+    if (set.si(id).graph.occurrences()[*had] > 0) ++users;
+  EXPECT_GE(users, 3u);
+}
+
+// ---- Candidates: equations (3) and (4) -------------------------------------
+
+TEST(Candidates, SmallerCandidatesContainSelectedAndIntermediates) {
+  const auto set = build_h264_si_set();
+  const SiId satd = set.find("SATD").value();
+  const auto& si = set.si(satd);
+  const MoleculeId sel = static_cast<MoleculeId>(si.molecules.size() - 1);
+  const std::vector<SiRef> selected{{satd, sel}};
+  const auto cands = smaller_candidates(set, selected);
+  EXPECT_FALSE(cands.empty());
+  // The selected molecule itself is a candidate.
+  EXPECT_NE(std::find(cands.begin(), cands.end(), SiRef{satd, sel}), cands.end());
+  // Every candidate is <= the selected molecule and belongs to SATD.
+  for (const SiRef& c : cands) {
+    EXPECT_EQ(c.si, satd);
+    EXPECT_TRUE(leq(si.molecule(c.mol).atoms, si.molecule(sel).atoms));
+  }
+}
+
+TEST(Candidates, DuplicateSelectedSiThrows) {
+  const auto set = build_h264_si_set();
+  const std::vector<SiRef> selected{{0, 0}, {0, 1}};
+  EXPECT_THROW(smaller_candidates(set, selected), std::logic_error);
+}
+
+TEST(Candidates, CleaningRemovesAvailableAndSlowCandidates) {
+  const auto set = build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  const auto& si = set.si(sad);
+  ASSERT_EQ(si.molecules.size(), 3u);
+  const std::vector<SiRef> selected{{sad, 2}};
+  auto cands = smaller_candidates(set, selected);
+  ASSERT_EQ(cands.size(), 3u);
+
+  // With molecule 1 fully available, candidates 0 and 1 die: 0 is slower
+  // than the best available, 1 needs no atoms.
+  std::vector<Cycles> best(set.si_count(), kMaxCycles);
+  best[sad] = si.molecule(1).latency;
+  clean_candidates(set, cands, si.molecule(1).atoms, best);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].mol, 2);
+}
+
+TEST(Candidates, PaperM4Example) {
+  // Recreate the §4.3 example: SI with m1=(1,2), m2=(2,2), m3=(3,3),
+  // m4=(1,3); lat(m4) between lat(m2) and lat(m1). After m2 is composed, m4
+  // is dead — but with warm start a=(0,3), m4 only needs one atom and lives.
+  AtomLibrary lib;
+  lib.add({"A1", 2, 100, 400});
+  lib.add({"A2", 2, 100, 400});
+  SpecialInstructionSet set(std::move(lib));
+  // Graph shaped so the enumerated grid includes the four molecules.
+  DataPathGraph g(&set.library());
+  const auto l1 = g.add_layer(0, 6);
+  g.add_layer(1, 6, l1);
+  set.add_si("X", std::move(g), Molecule{3, 3}, 200);
+
+  const auto& si = set.si(0);
+  auto find_mol = [&](const Molecule& atoms) -> MoleculeId {
+    for (MoleculeId m = 0; m < si.molecules.size(); ++m)
+      if (si.molecules[m].atoms == atoms) return m;
+    return kSoftwareMolecule;
+  };
+  const MoleculeId m2 = find_mol(Molecule{2, 2});
+  const MoleculeId m4 = find_mol(Molecule{1, 3});
+  ASSERT_NE(m2, kSoftwareMolecule);
+  ASSERT_NE(m4, kSoftwareMolecule);
+  ASSERT_GT(si.molecule(m4).latency, si.molecule(m2).latency);
+
+  // m2 composed: m4 does not survive cleaning.
+  EXPECT_FALSE(candidate_is_live(set, SiRef{0, m4}, si.molecule(m2).atoms,
+                                 si.molecule(m2).latency));
+  // Warm start (0,3): m4 needs one atom, m2 needs two — m4 is live while the
+  // best latency is still the trap.
+  EXPECT_TRUE(candidate_is_live(set, SiRef{0, m4}, Molecule{0, 3}, si.software_latency));
+  EXPECT_EQ(missing(Molecule{0, 3}, si.molecule(m4).atoms).determinant(), 1u);
+  EXPECT_EQ(missing(Molecule{0, 3}, si.molecule(m2).atoms).determinant(), 2u);
+}
+
+}  // namespace
+}  // namespace rispp

@@ -1,0 +1,124 @@
+// Tests for traces, the cycle-level executor and bucketed statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/software_only.h"
+#include "isa/h264_si_library.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace rispp {
+namespace {
+
+WorkloadTrace tiny_trace() {
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"A", {0, 1}, 5}, HotSpotInfo{"B", {1}, 3}};
+  trace.instances = {
+      HotSpotInstance{0, {0, 1, 0}, 100},
+      HotSpotInstance{1, {1, 1}, 50},
+  };
+  return trace;
+}
+
+/// Backend with fixed latencies for executor arithmetic tests.
+class FixedBackend final : public ExecutionBackend {
+ public:
+  explicit FixedBackend(std::vector<Cycles> latencies) : latencies_(std::move(latencies)) {}
+  std::string_view name() const override { return "Fixed"; }
+  void on_hot_spot_entry(const WorkloadTrace&, std::size_t, Cycles) override { ++entries_; }
+  void on_hot_spot_exit(Cycles) override { ++exits_; }
+  Cycles si_execution_latency(SiId si, Cycles) override { return latencies_[si]; }
+  int entries_ = 0, exits_ = 0;
+
+ private:
+  std::vector<Cycles> latencies_;
+};
+
+TEST(Executor, AccountsOverheadsAndLatencies) {
+  const WorkloadTrace trace = tiny_trace();
+  FixedBackend backend({10, 20});
+  SimStats stats(2);
+  const SimResult result = run_trace(trace, backend, &stats);
+  // Instance 0: 100 entry + (10+5)+(20+5)+(10+5) = 155.
+  // Instance 1: 50 entry + (20+3)+(20+3) = 96.
+  EXPECT_EQ(result.total_cycles, 155u + 96u);
+  EXPECT_EQ(result.si_executions, 5u);
+  EXPECT_EQ(backend.entries_, 2);
+  EXPECT_EQ(backend.exits_, 2);
+  EXPECT_EQ(stats.executions(0), 2u);
+  EXPECT_EQ(stats.executions(1), 3u);
+  ASSERT_EQ(result.hot_spot_cycles.size(), 2u);
+  EXPECT_EQ(result.hot_spot_cycles[0], 155u);
+  EXPECT_EQ(result.hot_spot_cycles[1], 96u);
+}
+
+TEST(Stats, BucketsSplitAt100KCycles) {
+  SimStats stats(1);
+  stats.record_execution(0, 0, 10);
+  stats.record_execution(0, 99'999, 10);
+  stats.record_execution(0, 100'000, 10);
+  stats.record_execution(0, 250'000, 10);
+  EXPECT_EQ(stats.bucket_executions(0, 0), 2u);
+  EXPECT_EQ(stats.bucket_executions(0, 1), 1u);
+  EXPECT_EQ(stats.bucket_executions(0, 2), 1u);
+  EXPECT_EQ(stats.bucket_executions(0, 3), 0u);
+  EXPECT_EQ(stats.bucket_count(), 3u);
+  EXPECT_EQ(stats.total_executions(), 4u);
+}
+
+TEST(Stats, LatencyTimelineRecordsChangePoints) {
+  SimStats stats(1);
+  stats.record_execution(0, 10, 500);
+  stats.record_execution(0, 20, 500);  // same latency -> no new point
+  stats.record_execution(0, 30, 100);
+  const auto& tl = stats.latency_timeline(0);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].at, 10u);
+  EXPECT_EQ(tl[0].latency, 500u);
+  EXPECT_EQ(tl[1].at, 30u);
+  EXPECT_EQ(tl[1].latency, 100u);
+}
+
+TEST(Trace, TotalsAndPerSiCounts) {
+  const WorkloadTrace trace = tiny_trace();
+  EXPECT_EQ(trace.total_si_executions(), 5u);
+  EXPECT_EQ(trace.executions_of(0), 2u);
+  EXPECT_EQ(trace.executions_of(1), 3u);
+  EXPECT_EQ(trace.executions_of(7), 0u);
+}
+
+TEST(Trace, BinaryRoundTrip) {
+  const WorkloadTrace trace = tiny_trace();
+  std::stringstream ss;
+  trace.save(ss);
+  const WorkloadTrace loaded = WorkloadTrace::load(ss);
+  ASSERT_EQ(loaded.hot_spots.size(), trace.hot_spots.size());
+  EXPECT_EQ(loaded.hot_spots[0].name, "A");
+  EXPECT_EQ(loaded.hot_spots[0].sis, trace.hot_spots[0].sis);
+  EXPECT_EQ(loaded.hot_spots[1].per_execution_overhead, 3u);
+  ASSERT_EQ(loaded.instances.size(), trace.instances.size());
+  EXPECT_EQ(loaded.instances[0].executions, trace.instances[0].executions);
+  EXPECT_EQ(loaded.instances[1].entry_overhead, 50u);
+}
+
+TEST(Trace, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is not a trace";
+  EXPECT_THROW(WorkloadTrace::load(ss), std::logic_error);
+}
+
+TEST(Executor, SoftwareOnlyMatchesClosedForm) {
+  const auto set = h264sis::build_h264_si_set();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"X", {0}, 7}};
+  trace.instances = {HotSpotInstance{0, std::vector<SiId>(10, 0), 1000}};
+  SoftwareOnlyBackend backend(&set);
+  const SimResult r = run_trace(trace, backend);
+  EXPECT_EQ(r.total_cycles, 1000u + 10u * (set.si(0).software_latency + 7));
+  EXPECT_EQ(r.atom_loads, 0u);
+}
+
+}  // namespace
+}  // namespace rispp
