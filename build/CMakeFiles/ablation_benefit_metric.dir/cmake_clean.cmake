@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_benefit_metric.dir/bench/ablation_benefit_metric.cpp.o"
+  "CMakeFiles/ablation_benefit_metric.dir/bench/ablation_benefit_metric.cpp.o.d"
+  "bench/ablation_benefit_metric"
+  "bench/ablation_benefit_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_benefit_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forecast.dir/bench/ablation_forecast.cpp.o"
+  "CMakeFiles/ablation_forecast.dir/bench/ablation_forecast.cpp.o.d"
+  "bench/ablation_forecast"
+  "bench/ablation_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_payback.dir/bench/ablation_payback.cpp.o"
+  "CMakeFiles/ablation_payback.dir/bench/ablation_payback.cpp.o.d"
+  "bench/ablation_payback"
+  "bench/ablation_payback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_payback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

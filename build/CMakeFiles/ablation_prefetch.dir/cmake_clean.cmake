@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefetch.dir/bench/ablation_prefetch.cpp.o"
+  "CMakeFiles/ablation_prefetch.dir/bench/ablation_prefetch.cpp.o.d"
+  "bench/ablation_prefetch"
+  "bench/ablation_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconfig_bandwidth.dir/bench/ablation_reconfig_bandwidth.cpp.o"
+  "CMakeFiles/ablation_reconfig_bandwidth.dir/bench/ablation_reconfig_bandwidth.cpp.o.d"
+  "bench/ablation_reconfig_bandwidth"
+  "bench/ablation_reconfig_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconfig_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selection.dir/bench/ablation_selection.cpp.o"
+  "CMakeFiles/ablation_selection.dir/bench/ablation_selection.cpp.o.d"
+  "bench/ablation_selection"
+  "bench/ablation_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

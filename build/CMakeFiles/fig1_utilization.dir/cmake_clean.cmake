@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_utilization.dir/bench/fig1_utilization.cpp.o"
+  "CMakeFiles/fig1_utilization.dir/bench/fig1_utilization.cpp.o.d"
+  "bench/fig1_utilization"
+  "bench/fig1_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

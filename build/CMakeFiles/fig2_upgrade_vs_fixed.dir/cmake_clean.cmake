@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_upgrade_vs_fixed.dir/bench/fig2_upgrade_vs_fixed.cpp.o"
+  "CMakeFiles/fig2_upgrade_vs_fixed.dir/bench/fig2_upgrade_vs_fixed.cpp.o.d"
+  "bench/fig2_upgrade_vs_fixed"
+  "bench/fig2_upgrade_vs_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_upgrade_vs_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

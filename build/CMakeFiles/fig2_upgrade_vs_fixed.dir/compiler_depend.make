@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_upgrade_vs_fixed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_schedule_example.dir/bench/fig4_schedule_example.cpp.o"
+  "CMakeFiles/fig4_schedule_example.dir/bench/fig4_schedule_example.cpp.o.d"
+  "bench/fig4_schedule_example"
+  "bench/fig4_schedule_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schedule_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

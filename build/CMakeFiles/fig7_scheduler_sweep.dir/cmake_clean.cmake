@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scheduler_sweep.dir/bench/fig7_scheduler_sweep.cpp.o"
+  "CMakeFiles/fig7_scheduler_sweep.dir/bench/fig7_scheduler_sweep.cpp.o.d"
+  "bench/fig7_scheduler_sweep"
+  "bench/fig7_scheduler_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scheduler_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

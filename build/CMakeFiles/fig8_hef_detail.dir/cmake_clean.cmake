@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hef_detail.dir/bench/fig8_hef_detail.cpp.o"
+  "CMakeFiles/fig8_hef_detail.dir/bench/fig8_hef_detail.cpp.o.d"
+  "bench/fig8_hef_detail"
+  "bench/fig8_hef_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hef_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

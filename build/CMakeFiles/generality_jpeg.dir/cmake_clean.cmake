@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generality_jpeg.dir/bench/generality_jpeg.cpp.o"
+  "CMakeFiles/generality_jpeg.dir/bench/generality_jpeg.cpp.o.d"
+  "bench/generality_jpeg"
+  "bench/generality_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generality_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for generality_jpeg.
+# This may be replaced when dependencies are built.

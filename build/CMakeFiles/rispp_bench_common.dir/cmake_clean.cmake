@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/rispp_bench_common.dir/bench/common.cpp.o.d"
+  "librispp_bench_common.a"
+  "librispp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

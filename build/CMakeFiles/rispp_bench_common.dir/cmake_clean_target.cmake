@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librispp_bench_common.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/robustness_content.cpp" "CMakeFiles/robustness_content.dir/bench/robustness_content.cpp.o" "gcc" "CMakeFiles/robustness_content.dir/bench/robustness_content.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/rispp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_content.dir/bench/robustness_content.cpp.o"
+  "CMakeFiles/robustness_content.dir/bench/robustness_content.cpp.o.d"
+  "bench/robustness_content"
+  "bench/robustness_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

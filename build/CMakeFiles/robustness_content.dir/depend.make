@@ -1,0 +1,2 @@
+# Empty dependencies file for robustness_content.
+# This may be replaced when dependencies are built.

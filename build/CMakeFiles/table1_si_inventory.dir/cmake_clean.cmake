@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_si_inventory.dir/bench/table1_si_inventory.cpp.o"
+  "CMakeFiles/table1_si_inventory.dir/bench/table1_si_inventory.cpp.o.d"
+  "bench/table1_si_inventory"
+  "bench/table1_si_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_si_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

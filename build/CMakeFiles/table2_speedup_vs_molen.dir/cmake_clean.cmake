@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speedup_vs_molen.dir/bench/table2_speedup_vs_molen.cpp.o"
+  "CMakeFiles/table2_speedup_vs_molen.dir/bench/table2_speedup_vs_molen.cpp.o.d"
+  "bench/table2_speedup_vs_molen"
+  "bench/table2_speedup_vs_molen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedup_vs_molen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scheduler_cost.dir/bench/table3_scheduler_cost.cpp.o"
+  "CMakeFiles/table3_scheduler_cost.dir/bench/table3_scheduler_cost.cpp.o.d"
+  "bench/table3_scheduler_cost"
+  "bench/table3_scheduler_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scheduler_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_workload.dir/adaptive_workload.cpp.o"
+  "CMakeFiles/adaptive_workload.dir/adaptive_workload.cpp.o.d"
+  "adaptive_workload"
+  "adaptive_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

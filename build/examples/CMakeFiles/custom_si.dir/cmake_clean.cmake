@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_si.dir/custom_si.cpp.o"
+  "CMakeFiles/custom_si.dir/custom_si.cpp.o.d"
+  "custom_si"
+  "custom_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h264_encode.dir/h264_encode.cpp.o"
+  "CMakeFiles/h264_encode.dir/h264_encode.cpp.o.d"
+  "h264_encode"
+  "h264_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h264_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

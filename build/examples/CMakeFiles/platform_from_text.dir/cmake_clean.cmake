@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_from_text.dir/platform_from_text.cpp.o"
+  "CMakeFiles/platform_from_text.dir/platform_from_text.cpp.o.d"
+  "platform_from_text"
+  "platform_from_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_from_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_alg.dir/alg/molecule.cpp.o"
+  "CMakeFiles/rispp_alg.dir/alg/molecule.cpp.o.d"
+  "librispp_alg.a"
+  "librispp_alg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_alg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rispp_alg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_base.dir/base/csv.cpp.o"
+  "CMakeFiles/rispp_base.dir/base/csv.cpp.o.d"
+  "CMakeFiles/rispp_base.dir/base/log.cpp.o"
+  "CMakeFiles/rispp_base.dir/base/log.cpp.o.d"
+  "CMakeFiles/rispp_base.dir/base/prng.cpp.o"
+  "CMakeFiles/rispp_base.dir/base/prng.cpp.o.d"
+  "CMakeFiles/rispp_base.dir/base/table.cpp.o"
+  "CMakeFiles/rispp_base.dir/base/table.cpp.o.d"
+  "librispp_base.a"
+  "librispp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/molen.cpp" "src/CMakeFiles/rispp_baselines.dir/baselines/molen.cpp.o" "gcc" "src/CMakeFiles/rispp_baselines.dir/baselines/molen.cpp.o.d"
+  "/root/repo/src/baselines/onechip.cpp" "src/CMakeFiles/rispp_baselines.dir/baselines/onechip.cpp.o" "gcc" "src/CMakeFiles/rispp_baselines.dir/baselines/onechip.cpp.o.d"
+  "/root/repo/src/baselines/software_only.cpp" "src/CMakeFiles/rispp_baselines.dir/baselines/software_only.cpp.o" "gcc" "src/CMakeFiles/rispp_baselines.dir/baselines/software_only.cpp.o.d"
+  "/root/repo/src/baselines/static_asip.cpp" "src/CMakeFiles/rispp_baselines.dir/baselines/static_asip.cpp.o" "gcc" "src/CMakeFiles/rispp_baselines.dir/baselines/static_asip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_baselines.dir/baselines/molen.cpp.o"
+  "CMakeFiles/rispp_baselines.dir/baselines/molen.cpp.o.d"
+  "CMakeFiles/rispp_baselines.dir/baselines/onechip.cpp.o"
+  "CMakeFiles/rispp_baselines.dir/baselines/onechip.cpp.o.d"
+  "CMakeFiles/rispp_baselines.dir/baselines/software_only.cpp.o"
+  "CMakeFiles/rispp_baselines.dir/baselines/software_only.cpp.o.d"
+  "CMakeFiles/rispp_baselines.dir/baselines/static_asip.cpp.o"
+  "CMakeFiles/rispp_baselines.dir/baselines/static_asip.cpp.o.d"
+  "librispp_baselines.a"
+  "librispp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

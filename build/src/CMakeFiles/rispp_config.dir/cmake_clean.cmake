@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_config.dir/config/platform_parser.cpp.o"
+  "CMakeFiles/rispp_config.dir/config/platform_parser.cpp.o.d"
+  "librispp_config.a"
+  "librispp_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

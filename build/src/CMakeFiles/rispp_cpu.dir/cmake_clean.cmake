@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/rispp_cpu.dir/cpu/core.cpp.o.d"
+  "CMakeFiles/rispp_cpu.dir/cpu/emulation.cpp.o"
+  "CMakeFiles/rispp_cpu.dir/cpu/emulation.cpp.o.d"
+  "CMakeFiles/rispp_cpu.dir/cpu/program.cpp.o"
+  "CMakeFiles/rispp_cpu.dir/cpu/program.cpp.o.d"
+  "librispp_cpu.a"
+  "librispp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

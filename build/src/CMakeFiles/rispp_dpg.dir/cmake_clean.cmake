@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_dpg.dir/dpg/atom_library.cpp.o"
+  "CMakeFiles/rispp_dpg.dir/dpg/atom_library.cpp.o.d"
+  "CMakeFiles/rispp_dpg.dir/dpg/enumerate.cpp.o"
+  "CMakeFiles/rispp_dpg.dir/dpg/enumerate.cpp.o.d"
+  "CMakeFiles/rispp_dpg.dir/dpg/graph.cpp.o"
+  "CMakeFiles/rispp_dpg.dir/dpg/graph.cpp.o.d"
+  "CMakeFiles/rispp_dpg.dir/dpg/list_scheduler.cpp.o"
+  "CMakeFiles/rispp_dpg.dir/dpg/list_scheduler.cpp.o.d"
+  "librispp_dpg.a"
+  "librispp_dpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_dpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

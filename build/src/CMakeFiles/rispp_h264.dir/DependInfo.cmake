@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h264/bitstream.cpp" "src/CMakeFiles/rispp_h264.dir/h264/bitstream.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/bitstream.cpp.o.d"
+  "/root/repo/src/h264/deblock.cpp" "src/CMakeFiles/rispp_h264.dir/h264/deblock.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/deblock.cpp.o.d"
+  "/root/repo/src/h264/decoder.cpp" "src/CMakeFiles/rispp_h264.dir/h264/decoder.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/decoder.cpp.o.d"
+  "/root/repo/src/h264/encoder.cpp" "src/CMakeFiles/rispp_h264.dir/h264/encoder.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/encoder.cpp.o.d"
+  "/root/repo/src/h264/entropy.cpp" "src/CMakeFiles/rispp_h264.dir/h264/entropy.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/entropy.cpp.o.d"
+  "/root/repo/src/h264/frame.cpp" "src/CMakeFiles/rispp_h264.dir/h264/frame.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/frame.cpp.o.d"
+  "/root/repo/src/h264/interpolate.cpp" "src/CMakeFiles/rispp_h264.dir/h264/interpolate.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/interpolate.cpp.o.d"
+  "/root/repo/src/h264/intra.cpp" "src/CMakeFiles/rispp_h264.dir/h264/intra.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/intra.cpp.o.d"
+  "/root/repo/src/h264/kernels.cpp" "src/CMakeFiles/rispp_h264.dir/h264/kernels.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/kernels.cpp.o.d"
+  "/root/repo/src/h264/motion_search.cpp" "src/CMakeFiles/rispp_h264.dir/h264/motion_search.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/motion_search.cpp.o.d"
+  "/root/repo/src/h264/quant.cpp" "src/CMakeFiles/rispp_h264.dir/h264/quant.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/quant.cpp.o.d"
+  "/root/repo/src/h264/synthetic_video.cpp" "src/CMakeFiles/rispp_h264.dir/h264/synthetic_video.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/synthetic_video.cpp.o.d"
+  "/root/repo/src/h264/transform.cpp" "src/CMakeFiles/rispp_h264.dir/h264/transform.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/transform.cpp.o.d"
+  "/root/repo/src/h264/workload.cpp" "src/CMakeFiles/rispp_h264.dir/h264/workload.cpp.o" "gcc" "src/CMakeFiles/rispp_h264.dir/h264/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

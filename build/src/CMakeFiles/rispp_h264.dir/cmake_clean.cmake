@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_h264.dir/h264/bitstream.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/bitstream.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/deblock.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/deblock.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/decoder.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/decoder.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/encoder.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/encoder.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/entropy.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/entropy.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/frame.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/frame.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/interpolate.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/interpolate.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/intra.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/intra.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/kernels.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/kernels.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/motion_search.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/motion_search.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/quant.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/quant.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/synthetic_video.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/synthetic_video.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/transform.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/transform.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/h264/workload.cpp.o"
+  "CMakeFiles/rispp_h264.dir/h264/workload.cpp.o.d"
+  "librispp_h264.a"
+  "librispp_h264.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_h264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

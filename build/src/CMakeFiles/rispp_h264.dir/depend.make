@@ -1,0 +1,2 @@
+# Empty dependencies file for rispp_h264.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/atom_container.cpp" "src/CMakeFiles/rispp_hw.dir/hw/atom_container.cpp.o" "gcc" "src/CMakeFiles/rispp_hw.dir/hw/atom_container.cpp.o.d"
+  "/root/repo/src/hw/bitstream.cpp" "src/CMakeFiles/rispp_hw.dir/hw/bitstream.cpp.o" "gcc" "src/CMakeFiles/rispp_hw.dir/hw/bitstream.cpp.o.d"
+  "/root/repo/src/hw/eviction.cpp" "src/CMakeFiles/rispp_hw.dir/hw/eviction.cpp.o" "gcc" "src/CMakeFiles/rispp_hw.dir/hw/eviction.cpp.o.d"
+  "/root/repo/src/hw/reconfig_port.cpp" "src/CMakeFiles/rispp_hw.dir/hw/reconfig_port.cpp.o" "gcc" "src/CMakeFiles/rispp_hw.dir/hw/reconfig_port.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_hw.dir/hw/atom_container.cpp.o"
+  "CMakeFiles/rispp_hw.dir/hw/atom_container.cpp.o.d"
+  "CMakeFiles/rispp_hw.dir/hw/bitstream.cpp.o"
+  "CMakeFiles/rispp_hw.dir/hw/bitstream.cpp.o.d"
+  "CMakeFiles/rispp_hw.dir/hw/eviction.cpp.o"
+  "CMakeFiles/rispp_hw.dir/hw/eviction.cpp.o.d"
+  "CMakeFiles/rispp_hw.dir/hw/reconfig_port.cpp.o"
+  "CMakeFiles/rispp_hw.dir/hw/reconfig_port.cpp.o.d"
+  "librispp_hw.a"
+  "librispp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

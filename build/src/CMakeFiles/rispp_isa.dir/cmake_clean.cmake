@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_isa.dir/isa/candidates.cpp.o"
+  "CMakeFiles/rispp_isa.dir/isa/candidates.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/isa/h264_si_library.cpp.o"
+  "CMakeFiles/rispp_isa.dir/isa/h264_si_library.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/isa/si.cpp.o"
+  "CMakeFiles/rispp_isa.dir/isa/si.cpp.o.d"
+  "librispp_isa.a"
+  "librispp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

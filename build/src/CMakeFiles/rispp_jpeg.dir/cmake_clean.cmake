@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_jpeg.dir/jpeg/jpeg_si_library.cpp.o"
+  "CMakeFiles/rispp_jpeg.dir/jpeg/jpeg_si_library.cpp.o.d"
+  "CMakeFiles/rispp_jpeg.dir/jpeg/jpeg_workload.cpp.o"
+  "CMakeFiles/rispp_jpeg.dir/jpeg/jpeg_workload.cpp.o.d"
+  "librispp_jpeg.a"
+  "librispp_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/forecast.cpp" "src/CMakeFiles/rispp_monitor.dir/monitor/forecast.cpp.o" "gcc" "src/CMakeFiles/rispp_monitor.dir/monitor/forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_monitor.dir/monitor/forecast.cpp.o"
+  "CMakeFiles/rispp_monitor.dir/monitor/forecast.cpp.o.d"
+  "librispp_monitor.a"
+  "librispp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_rtm.dir/rtm/run_time_manager.cpp.o"
+  "CMakeFiles/rispp_rtm.dir/rtm/run_time_manager.cpp.o.d"
+  "librispp_rtm.a"
+  "librispp_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asf.cpp" "src/CMakeFiles/rispp_sched.dir/sched/asf.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/asf.cpp.o.d"
+  "/root/repo/src/sched/fsfr.cpp" "src/CMakeFiles/rispp_sched.dir/sched/fsfr.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/fsfr.cpp.o.d"
+  "/root/repo/src/sched/hef.cpp" "src/CMakeFiles/rispp_sched.dir/sched/hef.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/hef.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/CMakeFiles/rispp_sched.dir/sched/oracle.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/oracle.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/CMakeFiles/rispp_sched.dir/sched/registry.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/registry.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/rispp_sched.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/sjf.cpp" "src/CMakeFiles/rispp_sched.dir/sched/sjf.cpp.o" "gcc" "src/CMakeFiles/rispp_sched.dir/sched/sjf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

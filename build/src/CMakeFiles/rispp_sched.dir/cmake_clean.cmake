@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_sched.dir/sched/asf.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/asf.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/fsfr.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/fsfr.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/hef.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/hef.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/oracle.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/oracle.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/registry.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/registry.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/schedule.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/schedule.cpp.o.d"
+  "CMakeFiles/rispp_sched.dir/sched/sjf.cpp.o"
+  "CMakeFiles/rispp_sched.dir/sched/sjf.cpp.o.d"
+  "librispp_sched.a"
+  "librispp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

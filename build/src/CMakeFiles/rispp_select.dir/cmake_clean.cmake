@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_select.dir/select/optimal.cpp.o"
+  "CMakeFiles/rispp_select.dir/select/optimal.cpp.o.d"
+  "CMakeFiles/rispp_select.dir/select/selection.cpp.o"
+  "CMakeFiles/rispp_select.dir/select/selection.cpp.o.d"
+  "librispp_select.a"
+  "librispp_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_sim.dir/sim/executor.cpp.o"
+  "CMakeFiles/rispp_sim.dir/sim/executor.cpp.o.d"
+  "CMakeFiles/rispp_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/rispp_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/rispp_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rispp_sim.dir/sim/trace.cpp.o.d"
+  "librispp_sim.a"
+  "librispp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

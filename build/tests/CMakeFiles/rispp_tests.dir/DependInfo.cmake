@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base_test.cpp" "tests/CMakeFiles/rispp_tests.dir/base_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/base_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/rispp_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/rispp_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/rispp_tests.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/rispp_tests.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/decoder_test.cpp" "tests/CMakeFiles/rispp_tests.dir/decoder_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/decoder_test.cpp.o.d"
+  "/root/repo/tests/dpg_test.cpp" "tests/CMakeFiles/rispp_tests.dir/dpg_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/dpg_test.cpp.o.d"
+  "/root/repo/tests/encoder_test.cpp" "tests/CMakeFiles/rispp_tests.dir/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/encoder_test.cpp.o.d"
+  "/root/repo/tests/entropy_test.cpp" "tests/CMakeFiles/rispp_tests.dir/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/entropy_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/rispp_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/h264_kernels_test.cpp" "tests/CMakeFiles/rispp_tests.dir/h264_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/h264_kernels_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/rispp_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/jpeg_test.cpp" "tests/CMakeFiles/rispp_tests.dir/jpeg_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/jpeg_test.cpp.o.d"
+  "/root/repo/tests/molecule_test.cpp" "tests/CMakeFiles/rispp_tests.dir/molecule_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/molecule_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/rispp_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/rtm_test.cpp" "tests/CMakeFiles/rispp_tests.dir/rtm_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/rtm_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/rispp_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/selection_test.cpp" "tests/CMakeFiles/rispp_tests.dir/selection_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/selection_test.cpp.o.d"
+  "/root/repo/tests/si_library_test.cpp" "tests/CMakeFiles/rispp_tests.dir/si_library_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/si_library_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/rispp_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/rispp_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rispp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_h264.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_dpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rispp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

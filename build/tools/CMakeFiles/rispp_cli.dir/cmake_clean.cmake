@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_cli.dir/rispp_cli.cpp.o"
+  "CMakeFiles/rispp_cli.dir/rispp_cli.cpp.o.d"
+  "rispp"
+  "rispp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
