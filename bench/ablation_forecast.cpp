@@ -5,6 +5,7 @@
 // paper's system, exponential update), static design-time seeds only, and an
 // oracle that knows the exact counts of the upcoming hot-spot instance.
 #include <cstdio>
+#include <vector>
 
 #include "base/table.h"
 #include "bench/common.h"
@@ -12,24 +13,31 @@
 int main() {
   using namespace rispp;
   const bench::BenchContext ctx;
+  bench::BenchPerfLog perf("ablation_forecast");
 
   std::printf("Ablation — forecast source for HEF (%d frames)\n\n", ctx.frames);
+
+  const std::vector<unsigned> ac_counts{8u, 12u, 16u, 20u, 24u};
+  const ForecastMode modes[] = {ForecastMode::kMonitored, ForecastMode::kStaticSeeds,
+                                ForecastMode::kOracle};
+  struct Cell { unsigned acs; ForecastMode mode; };
+  std::vector<Cell> cells;
+  for (const unsigned acs : ac_counts)
+    for (const ForecastMode mode : modes) cells.push_back({acs, mode});
+  perf.set_cells(cells.size());
+
+  const auto cycles = bench::run_sweep(cells, [&](const Cell& cell) {
+    return static_cast<double>(
+        ctx.run_scheduler("HEF", cell.acs, nullptr, cell.mode).total_cycles);
+  });
+
   TextTable table({"#ACs", "monitored [Mcyc]", "static seeds [Mcyc]", "oracle [Mcyc]",
                    "monitor vs static", "oracle headroom"});
-  for (unsigned acs : {8u, 12u, 16u, 20u, 24u}) {
-    const double monitored =
-        static_cast<double>(ctx.run_scheduler("HEF", acs, nullptr,
-                                              ForecastMode::kMonitored)
-                                .total_cycles);
-    const double fixed =
-        static_cast<double>(ctx.run_scheduler("HEF", acs, nullptr,
-                                              ForecastMode::kStaticSeeds)
-                                .total_cycles);
-    const double oracle =
-        static_cast<double>(ctx.run_scheduler("HEF", acs, nullptr,
-                                              ForecastMode::kOracle)
-                                .total_cycles);
-    table.add(acs, format_fixed(monitored / 1e6, 1), format_fixed(fixed / 1e6, 1),
+  for (std::size_t i = 0; i < ac_counts.size(); ++i) {
+    const double monitored = cycles[i * 3 + 0];
+    const double fixed = cycles[i * 3 + 1];
+    const double oracle = cycles[i * 3 + 2];
+    table.add(ac_counts[i], format_fixed(monitored / 1e6, 1), format_fixed(fixed / 1e6, 1),
               format_fixed(oracle / 1e6, 1), format_fixed(fixed / monitored, 3),
               format_fixed(monitored / oracle, 3));
   }

@@ -14,6 +14,8 @@
 // 22-24 ACs by accidental residency preservation; the default horizon (16)
 // restores HEF's never-slower property at the cost of that crossover.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "base/table.h"
 #include "bench/common.h"
@@ -21,23 +23,40 @@
 int main() {
   using namespace rispp;
   const bench::BenchContext ctx;
+  bench::BenchPerfLog perf("ablation_payback");
 
   std::printf("Ablation — payback horizon (%d frames)\n\n", ctx.frames);
-  for (const unsigned horizon : {0u, 1u, 8u, 16u, 64u}) {
+
+  const auto names = scheduler_names();
+  const std::vector<unsigned> horizons{0u, 1u, 8u, 16u, 64u};
+  const std::vector<unsigned> ac_counts{8u, 12u, 16u, 20u, 24u};
+  struct Cell { unsigned horizon; unsigned acs; std::string scheduler; };
+  std::vector<Cell> cells;
+  for (const unsigned horizon : horizons)
+    for (const unsigned acs : ac_counts)
+      for (const auto& name : names) cells.push_back({horizon, acs, name});
+  perf.set_cells(cells.size());
+
+  const auto results = bench::run_sweep(cells, [&](const Cell& cell) {
+    auto scheduler = make_scheduler(cell.scheduler);
+    RtmConfig config;
+    config.container_count = cell.acs;
+    config.scheduler = scheduler.get();
+    config.payback_horizon = cell.horizon;
+    RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
+    h264::seed_default_forecasts(ctx.set, rtm);
+    return run_trace(ctx.trace, rtm);
+  });
+
+  std::size_t cell = 0;
+  for (const unsigned horizon : horizons) {
     TextTable table({"#ACs", "ASF [Mcyc]", "FSFR [Mcyc]", "SJF [Mcyc]", "HEF [Mcyc]",
                      "HEF loads"});
-    for (unsigned acs : {8u, 12u, 16u, 20u, 24u}) {
+    for (const unsigned acs : ac_counts) {
       std::vector<std::string> row{std::to_string(acs)};
       std::uint64_t hef_loads = 0;
-      for (const auto& name : scheduler_names()) {
-        auto scheduler = make_scheduler(name);
-        RtmConfig config;
-        config.container_count = acs;
-        config.scheduler = scheduler.get();
-        config.payback_horizon = horizon;
-        RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
-        h264::seed_default_forecasts(ctx.set, rtm);
-        const SimResult result = run_trace(ctx.trace, rtm);
+      for (const auto& name : names) {
+        const SimResult& result = results[cell++];
         row.push_back(format_fixed(result.total_cycles / 1e6, 1));
         if (name == "HEF") hef_loads = result.atom_loads;
       }

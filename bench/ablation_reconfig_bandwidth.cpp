@@ -5,6 +5,8 @@
 // stretch them (scheduling matters more, and Molen suffers most since it
 // cannot use partial molecules at all).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "base/table.h"
 #include "bench/common.h"
@@ -12,37 +14,51 @@
 int main() {
   using namespace rispp;
   const bench::BenchContext ctx;
+  bench::BenchPerfLog perf("ablation_reconfig_bandwidth");
   constexpr unsigned kAcs = 12;
 
   std::printf("Ablation — reconfiguration bandwidth @%u ACs (%d frames; paper port: "
               "66 MB/s)\n\n",
               kAcs, ctx.frames);
+
+  const std::vector<std::uint64_t> bandwidths{16u, 33u, 66u, 132u, 264u, 1056u};
+  // Three systems per bandwidth: HEF, ASF, Molen.
+  struct Cell { std::uint64_t mbps; int system; };
+  std::vector<Cell> cells;
+  for (const std::uint64_t mbps : bandwidths)
+    for (int system = 0; system < 3; ++system) cells.push_back({mbps, system});
+  perf.set_cells(cells.size());
+
+  const auto cycles = bench::run_sweep(cells, [&](const Cell& cell) {
+    BitstreamModel model;
+    model.bytes_per_second = cell.mbps * 1'000'000;
+    if (cell.system == 2) {
+      MolenConfig config;
+      config.container_count = kAcs;
+      config.bitstream = model;
+      MolenBackend molen(&ctx.set, ctx.trace.hot_spots.size(), config);
+      h264::seed_default_forecasts(ctx.set, molen);
+      return run_trace(ctx.trace, molen).total_cycles;
+    }
+    auto scheduler = make_scheduler(cell.system == 0 ? "HEF" : "ASF");
+    RtmConfig config;
+    config.container_count = kAcs;
+    config.scheduler = scheduler.get();
+    config.bitstream = model;
+    RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
+    h264::seed_default_forecasts(ctx.set, rtm);
+    return run_trace(ctx.trace, rtm).total_cycles;
+  });
+
   TextTable table({"port [MB/s]", "avg atom [us]", "HEF [Mcyc]", "ASF [Mcyc]",
                    "Molen [Mcyc]", "HEF vs Molen"});
-  for (const std::uint64_t mbps : {16u, 33u, 66u, 132u, 264u, 1056u}) {
+  for (std::size_t i = 0; i < bandwidths.size(); ++i) {
     BitstreamModel model;
-    model.bytes_per_second = mbps * 1'000'000;
-
-    auto run_with = [&](const std::string& name) {
-      auto scheduler = make_scheduler(name);
-      RtmConfig config;
-      config.container_count = kAcs;
-      config.scheduler = scheduler.get();
-      config.bitstream = model;
-      RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
-      h264::seed_default_forecasts(ctx.set, rtm);
-      return run_trace(ctx.trace, rtm).total_cycles;
-    };
-    MolenConfig molen_config;
-    molen_config.container_count = kAcs;
-    molen_config.bitstream = model;
-    MolenBackend molen(&ctx.set, ctx.trace.hot_spots.size(), molen_config);
-    h264::seed_default_forecasts(ctx.set, molen);
-    const Cycles molen_cycles = run_trace(ctx.trace, molen).total_cycles;
-
-    const Cycles hef = run_with("HEF");
-    const Cycles asf = run_with("ASF");
-    table.add(mbps, format_fixed(model.average_reconfig_us(ctx.set.library()), 1),
+    model.bytes_per_second = bandwidths[i] * 1'000'000;
+    const Cycles hef = cycles[i * 3 + 0];
+    const Cycles asf = cycles[i * 3 + 1];
+    const Cycles molen_cycles = cycles[i * 3 + 2];
+    table.add(bandwidths[i], format_fixed(model.average_reconfig_us(ctx.set.library()), 1),
               format_fixed(hef / 1e6, 1), format_fixed(asf / 1e6, 1),
               format_fixed(molen_cycles / 1e6, 1),
               format_fixed(static_cast<double>(molen_cycles) / hef, 2));

@@ -1,9 +1,12 @@
 #include "bench/common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace rispp::bench {
 
@@ -25,6 +28,28 @@ std::filesystem::path trace_cache_path(int frames) {
                 std::to_string(frames) + ".rtrc");
 }
 
+// Concurrent bench binaries may race to fill the cache: write to a
+// pid-unique temp file and rename it into place, so a reader never sees a
+// partially written trace.
+void save_trace_cache(const WorkloadTrace& trace, const std::filesystem::path& path) {
+  const std::filesystem::path tmp =
+      path.string() + "." + std::to_string(::getpid()) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out.good()) return;
+    trace.save(out);
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
 WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
   const auto path = trace_cache_path(frames);
   {
@@ -42,8 +67,7 @@ WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
   h264::WorkloadConfig config;
   config.frames = frames;
   WorkloadTrace trace = h264::generate_h264_workload(set, config).trace;
-  std::ofstream out(path, std::ios::binary);
-  if (out.good()) trace.save(out);
+  save_trace_cache(trace, path);
   return trace;
 }
 
@@ -73,6 +97,38 @@ SimResult BenchContext::run_molen(unsigned container_count, SimStats* stats) con
   MolenBackend molen(&set, trace.hot_spots.size(), config);
   h264::seed_default_forecasts(set, molen);
   return run_trace(trace, molen, stats);
+}
+
+SimResult BenchContext::run_onechip(unsigned container_count, SimStats* stats) const {
+  OneChipConfig config;
+  config.container_count = container_count;
+  OneChipBackend onechip(&set, trace.hot_spots.size(), config);
+  h264::seed_default_forecasts(set, onechip);
+  return run_trace(trace, onechip, stats);
+}
+
+BenchPerfLog::BenchPerfLog(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchPerfLog::~BenchPerfLog() {
+  const char* dir = std::getenv("RISPP_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / ("BENCH_" + name_ + ".json");
+  std::ofstream out(path);
+  if (!out.good()) return;
+  out << "{\n"
+      << "  \"bench\": \"" << name_ << "\",\n"
+      << "  \"wall_seconds\": " << seconds << ",\n"
+      << "  \"cells\": " << cells_ << ",\n"
+      << "  \"cells_per_sec\": " << (seconds > 0.0 ? cells_ / seconds : 0.0) << ",\n"
+      << "  \"threads\": " << parallel_thread_count() << ",\n"
+      << "  \"frames\": " << bench_frames() << "\n"
+      << "}\n";
 }
 
 }  // namespace rispp::bench

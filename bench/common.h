@@ -5,12 +5,24 @@
 // is cached on disk keyed by frame count; RISPP_FRAMES overrides the length
 // (e.g. RISPP_FRAMES=20 for a quick pass) and RISPP_TRACE_DIR the cache
 // location (default: the system temp directory).
+//
+// Sweeps fan their cells across cores with run_sweep (RISPP_THREADS
+// controls the width). Thread-safety contract: every run_* call builds its
+// own backend and scheduler, so concurrent cells share only the immutable
+// BenchContext (const SpecialInstructionSet + const WorkloadTrace). Keep it
+// that way — never add mutable state to BenchContext that run_* touches.
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
+#include "base/parallel.h"
 #include "baselines/molen.h"
+#include "baselines/onechip.h"
 #include "h264/workload.h"
 #include "isa/h264_si_library.h"
 #include "rtm/run_time_manager.h"
@@ -33,9 +45,43 @@ struct BenchContext {
 
   /// Runs the trace under the Molen-like baseline.
   SimResult run_molen(unsigned container_count, SimStats* stats = nullptr) const;
+
+  /// Runs the trace under the OneChip-like baseline.
+  SimResult run_onechip(unsigned container_count, SimStats* stats = nullptr) const;
 };
 
 /// Number of frames the benches use (env RISPP_FRAMES, default 140).
 int bench_frames();
+
+/// Fans `fn` over `cells` with parallel_for; results keep cell order, so the
+/// output is deterministic regardless of RISPP_THREADS. `fn` must not touch
+/// shared mutable state (see the thread-safety contract above).
+template <typename Cell, typename Fn>
+auto run_sweep(const std::vector<Cell>& cells, Fn&& fn) {
+  using Result = std::decay_t<decltype(fn(cells.front()))>;
+  std::vector<Result> results(cells.size());
+  parallel_for(cells.size(), [&](std::size_t i) { results[i] = fn(cells[i]); });
+  return results;
+}
+
+/// Machine-readable perf trajectory: when RISPP_BENCH_JSON_DIR is set, the
+/// destructor writes <dir>/BENCH_<name>.json with wall-clock seconds,
+/// cells/sec, thread count and frame count, so speedups stay trackable
+/// across PRs. Off (no I/O) when the variable is unset.
+class BenchPerfLog {
+ public:
+  explicit BenchPerfLog(std::string name);
+  ~BenchPerfLog();
+  BenchPerfLog(const BenchPerfLog&) = delete;
+  BenchPerfLog& operator=(const BenchPerfLog&) = delete;
+
+  /// Number of sweep cells the binary ran (for the cells/sec rate).
+  void set_cells(std::size_t cells) { cells_ = cells; }
+
+ private:
+  std::string name_;
+  std::size_t cells_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace rispp::bench

@@ -7,6 +7,8 @@
 // the spread widens as ACs are added.
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "base/csv.h"
 #include "base/table.h"
@@ -15,18 +17,30 @@
 int main() {
   using namespace rispp;
   const bench::BenchContext ctx;
+  bench::BenchPerfLog perf("fig7");
 
   std::printf("Figure 7 — execution time [Mcycles] encoding %d CIF frames\n", ctx.frames);
   std::printf("(paper: 140 frames, y-axis 200-500 Mcycles, 0 ACs = 7,403M)\n\n");
 
   const auto names = scheduler_names();
+  struct Cell { std::string scheduler; unsigned acs; };
+  std::vector<Cell> cells;
+  for (unsigned acs = 5; acs <= 24; ++acs)
+    for (const auto& name : names) cells.push_back({name, acs});
+  perf.set_cells(cells.size());
+
+  const auto cycles = bench::run_sweep(cells, [&](const Cell& cell) {
+    return ctx.run_scheduler(cell.scheduler, cell.acs).total_cycles;
+  });
+
   TextTable table({"#ACs", "ASF", "FSFR", "SJF", "HEF", "best"});
   CsvWriter csv(std::cout, {"acs", "asf_mcycles", "fsfr_mcycles", "sjf_mcycles",
                             "hef_mcycles"});
   for (unsigned acs = 5; acs <= 24; ++acs) {
+    const std::size_t row = (acs - 5) * names.size();
     double mcycles[4];
     for (std::size_t i = 0; i < names.size(); ++i)
-      mcycles[i] = static_cast<double>(ctx.run_scheduler(names[i], acs).total_cycles) / 1e6;
+      mcycles[i] = static_cast<double>(cycles[row + i]) / 1e6;
     std::size_t best = 0;
     for (std::size_t i = 1; i < 4; ++i)
       if (mcycles[i] < mcycles[best]) best = i;

@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "alg/molecule.h"
+#include "base/parallel.h"
 #include "base/prng.h"
+#include "bench/common.h"
 #include "dpg/enumerate.h"
 #include "dpg/list_scheduler.h"
 #include "h264/kernels.h"
@@ -191,6 +193,73 @@ void BM_SimulatorThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+const bench::BenchContext& cached_context() {
+  static const bench::BenchContext ctx;
+  return ctx;
+}
+
+// Scalar vs run-batched replay of the cached H.264 bench trace (items =
+// SI execution events). The ratio of the two items/sec rates is the
+// fast-forward speedup the sweeps enjoy.
+void BM_TraceReplay(benchmark::State& state) {
+  const auto& ctx = cached_context();
+  const auto mode = state.range(0) == 0 ? ReplayMode::kScalar : ReplayMode::kBatched;
+  const HefScheduler hef;
+  for (auto _ : state) {
+    RtmConfig config;
+    config.container_count = 17;
+    config.scheduler = &hef;
+    RunTimeManager rtm(&ctx.set, ctx.trace.hot_spots.size(), config);
+    h264::seed_default_forecasts(ctx.set, rtm);
+    benchmark::DoNotOptimize(run_trace(ctx.trace, rtm, nullptr, mode));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ctx.trace.total_si_executions()));
+  state.SetLabel(mode == ReplayMode::kScalar ? "scalar" : "batched");
+}
+BENCHMARK(BM_TraceReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// parallel_for scaling: the same cell workload fanned over 1, 2 and N
+// threads. Cells are small RTM runs on a short synthetic trace, matching
+// the sweep harness's use of the pool.
+void BM_ParallelFor(benchmark::State& state) {
+  const auto& set = h264_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad, satd}, 8}};
+  HotSpotInstance inst;
+  inst.hot_spot = 0;
+  inst.entry_overhead = 1000;
+  for (int i = 0; i < 20'000; ++i) inst.executions.push_back(i % 8 == 7 ? satd : sad);
+  trace.instances.push_back(std::move(inst));
+  trace.build_runs();
+
+  constexpr std::size_t kCells = 16;
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const HefScheduler hef;
+  std::vector<Cycles> cycles(kCells);
+  for (auto _ : state) {
+    pool.parallel_for(kCells, [&](std::size_t i) {
+      RtmConfig config;
+      config.container_count = static_cast<unsigned>(5 + i);
+      config.scheduler = &hef;
+      RunTimeManager rtm(&set, 1, config);
+      rtm.seed_forecast(0, sad, 17'500);
+      rtm.seed_forecast(0, satd, 2'500);
+      cycles[i] = run_trace(trace, rtm).total_cycles;
+    });
+    benchmark::DoNotOptimize(cycles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCells);
+  state.SetLabel(std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_ParallelFor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(parallel_thread_count()))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,33 +3,47 @@
 //
 // Paper: HEF vs ASF up to 1.52x, ASF vs Molen up to 1.67x, HEF vs Molen up
 // to 2.38x (avg 1.71x), and HEF never slower than Molen or any scheduler.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "base/table.h"
-#include "baselines/onechip.h"
 #include "bench/common.h"
 
 int main() {
   using namespace rispp;
   const bench::BenchContext ctx;
+  bench::BenchPerfLog perf("table2");
 
   std::printf("Table 2 — speedups vs. ASF and a Molen-like baseline (%d frames)\n\n",
               ctx.frames);
+
+  // Four systems per AC count: ASF, HEF, Molen, OneChip.
+  struct Cell { unsigned acs; int system; };
+  std::vector<Cell> cells;
+  for (unsigned acs = 5; acs <= 24; ++acs)
+    for (int system = 0; system < 4; ++system) cells.push_back({acs, system});
+  perf.set_cells(cells.size());
+
+  const auto cycles = bench::run_sweep(cells, [&](const Cell& cell) {
+    switch (cell.system) {
+      case 0: return ctx.run_scheduler("ASF", cell.acs).total_cycles;
+      case 1: return ctx.run_scheduler("HEF", cell.acs).total_cycles;
+      case 2: return ctx.run_molen(cell.acs).total_cycles;
+      default: return ctx.run_onechip(cell.acs).total_cycles;
+    }
+  });
 
   TextTable table({"#ACs", "HEF vs ASF", "ASF vs Molen", "HEF vs Molen", "HEF vs OneChip"});
   double sum_hef_molen = 0.0, max_hef_molen = 0.0;
   unsigned count = 0;
   bool hef_never_slower = true;
   for (unsigned acs = 5; acs <= 24; ++acs) {
-    const double asf = static_cast<double>(ctx.run_scheduler("ASF", acs).total_cycles);
-    const double hef = static_cast<double>(ctx.run_scheduler("HEF", acs).total_cycles);
-    const double molen = static_cast<double>(ctx.run_molen(acs).total_cycles);
-    OneChipConfig oc_config;
-    oc_config.container_count = acs;
-    OneChipBackend onechip(&ctx.set, ctx.trace.hot_spots.size(), oc_config);
-    h264::seed_default_forecasts(ctx.set, onechip);
-    const double onechip_cycles =
-        static_cast<double>(run_trace(ctx.trace, onechip).total_cycles);
+    const std::size_t row = (acs - 5) * 4;
+    const double asf = static_cast<double>(cycles[row + 0]);
+    const double hef = static_cast<double>(cycles[row + 1]);
+    const double molen = static_cast<double>(cycles[row + 2]);
+    const double onechip_cycles = static_cast<double>(cycles[row + 3]);
     const double hef_asf = asf / hef;
     const double asf_molen = molen / asf;
     const double hef_molen = molen / hef;

@@ -1,0 +1,129 @@
+#include "base/parallel.h"
+
+#include <cstdlib>
+
+namespace rispp {
+namespace {
+
+// Set while a thread executes job indices, so nested parallel_for calls fall
+// back to a serial loop instead of deadlocking on the single-job pool.
+thread_local bool t_inside_pool_job = false;
+
+}  // namespace
+
+unsigned parallel_thread_count() {
+  if (const char* env = std::getenv("RISPP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads > 0 ? threads : 1) {
+  // The caller participates in every job, so spawn one fewer worker.
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1 || t_inside_pool_job) {
+    // Serial fallback with the same semantics as the pooled path: every
+    // index runs, the lowest-index exception is rethrown.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_indices(job);
+  {
+    // Wait until every worker that attached to the job has detached; after
+    // that no other thread touches `job` and it can safely leave scope.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job.attached == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (job_ != nullptr) {
+        job = job_;
+        ++job->attached;
+      }
+    }
+    if (job != nullptr) {
+      run_indices(*job);
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last = --job->attached == 0;
+      }
+      if (last) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_indices(Job& job) {
+  t_inside_pool_job = true;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error || i < job.error_index) {
+        job.error = std::current_exception();
+        job.error_index = i;
+      }
+    }
+  }
+  t_inside_pool_job = false;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(parallel_thread_count());
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace rispp

@@ -1,0 +1,69 @@
+// A small fixed-size thread pool for fanning independent sweep cells across
+// cores (bench/common.h run_sweep). Deliberately minimal: one job at a time,
+// the caller participates, indices are handed out through an atomic counter
+// so results land in deterministic slots regardless of thread count —
+// RISPP_THREADS=1 reproduces multi-threaded results exactly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rispp {
+
+/// Worker count parallel_for uses: RISPP_THREADS if set (> 0), else
+/// std::thread::hardware_concurrency() (min 1).
+unsigned parallel_thread_count();
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// `threads <= 1` makes parallel_for a serial loop.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return threads_; }
+
+  /// Invokes fn(0) .. fn(n-1) exactly once each, concurrently, and returns
+  /// once all calls finished. If any call throws, the exception of the
+  /// lowest-index failure is rethrown in the caller (the remaining indices
+  /// still run). Reentrant calls from inside a worker run serially.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized from parallel_thread_count().
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    unsigned attached = 0;  // participants inside run_indices (mutex-guarded)
+    std::exception_ptr error;            // lowest-index failure (mutex-guarded)
+    std::size_t error_index = 0;
+  };
+
+  void worker_loop();
+  void run_indices(Job& job);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: a new job arrived / stop
+  std::condition_variable done_cv_;   // caller: all participants detached
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace rispp

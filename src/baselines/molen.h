@@ -40,6 +40,9 @@ class MolenBackend final : public ExecutionBackend {
                          Cycles now) override;
   void on_hot_spot_exit(Cycles now) override;
   Cycles si_execution_latency(SiId si, Cycles now) override;
+  Cycles si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                  Cycles per_execution_overhead,
+                                  std::vector<LatencySegment>& segments) override;
   std::uint64_t completed_loads() const override { return port_.completed_loads(); }
 
   const std::vector<SiRef>& current_selection() const { return selection_; }

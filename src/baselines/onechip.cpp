@@ -115,4 +115,38 @@ Cycles OneChipBackend::si_execution_latency(SiId si, Cycles now) {
   return cached_latency_[si];
 }
 
+Cycles OneChipBackend::si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                                Cycles per_execution_overhead,
+                                                std::vector<LatencySegment>& segments) {
+  // Fast-forward between port completions. The demand-load request fires at
+  // the first execution of the run (request_configuration is idempotent for
+  // the following ones, exactly as in scalar replay).
+  Cycles total = 0;
+  while (count > 0) {
+    advance_reconfig(now);
+    request_configuration(si);
+    start_pending_loads(now);
+    if (!cache_valid_) refresh_cache();
+    const Cycles latency = cached_latency_[si];
+    const Cycles step = latency + per_execution_overhead;
+    std::uint64_t fit = count;
+    if (port_.busy() && step > 0) {
+      const Cycles finish = port_.inflight()->finishes_at;
+      fit = std::min<std::uint64_t>(count, (finish - now + step - 1) / step);
+    }
+    monitor_.record_executions(si, fit);
+    if (latency != set_->si(si).software_latency) {
+      const Cycles last_start = now + (fit - 1) * step;
+      const Molecule& atoms = set_->si(si).molecule(selected_molecule_[si]).atoms;
+      for (std::size_t t = 0; t < atoms.dimension(); ++t)
+        if (atoms[t] != 0) type_last_used_[t] = last_start;
+    }
+    append_latency_segment(segments, fit, latency);
+    total += fit * latency;
+    now += fit * step;
+    count -= fit;
+  }
+  return total;
+}
+
 }  // namespace rispp

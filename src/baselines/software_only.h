@@ -18,6 +18,19 @@ class SoftwareOnlyBackend final : public ExecutionBackend {
   Cycles si_execution_latency(SiId si, Cycles) override {
     return set_->si(si).software_latency;
   }
+  Cycles si_execution_run_latency(SiId si, std::uint64_t count, Cycles, Cycles,
+                                  std::vector<LatencySegment>& segments) override {
+    // Latency never changes: a whole run is one segment.
+    const Cycles latency = set_->si(si).software_latency;
+    append_latency_segment(segments, count, latency);
+    return latency * count;
+  }
+  Cycles si_execution_span(std::span<const SiRun> runs, Cycles now,
+                           Cycles per_execution_overhead) override {
+    for (const SiRun& run : runs)
+      now += run.count * (set_->si(run.si).software_latency + per_execution_overhead);
+    return now;
+  }
 
  private:
   const SpecialInstructionSet* set_;

@@ -66,6 +66,7 @@ WorkloadResult generate_h264_workload(const SpecialInstructionSet& set,
       config.frames > 0
           ? static_cast<double>(total_bits) * 30.0 / config.frames / 1000.0
           : 0.0;
+  trace.build_runs();
   return result;
 }
 

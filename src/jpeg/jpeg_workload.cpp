@@ -88,6 +88,7 @@ JpegWorkloadResult generate_jpeg_workload(const SpecialInstructionSet& set,
                              ? static_cast<double>(activity_sum) /
                                    static_cast<double>(result.total_blocks)
                              : 0.0;
+  trace.build_runs();
   return result;
 }
 

@@ -29,6 +29,8 @@ class ExecutionMonitor {
   /// been closed with end_hot_spot).
   void begin_hot_spot(HotSpotId hs);
   void record_execution(SiId si);
+  /// Bulk form for batched replay: equivalent to `n` record_execution calls.
+  void record_executions(SiId si, std::uint64_t n);
   /// Folds counts into forecasts.
   void end_hot_spot();
 

@@ -20,7 +20,11 @@ RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot
       successor_(hot_spot_count, 0),
       prefetch_demand_(set->atom_type_count()),
       type_last_used_(set->atom_type_count(), 0),
-      cached_molecule_(set->si_count(), kSoftwareMolecule) {
+      cached_molecule_(set->si_count(), kSoftwareMolecule),
+      span_step_gen_(set->si_count(), 0),
+      span_step_(set->si_count(), 0),
+      span_touch_gen_(set->si_count(), 0),
+      span_last_start_(set->si_count(), 0) {
   RISPP_CHECK(config_.scheduler != nullptr);
   if (config_.payback_horizon > 0)
     payback_cycles_per_atom_ =
@@ -217,6 +221,107 @@ Cycles RunTimeManager::si_execution_latency(SiId si, Cycles now) {
       if (atoms[t] != 0) type_last_used_[t] = now;
   }
   return set_->si(si).latency(mol);
+}
+
+Cycles RunTimeManager::si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                                Cycles per_execution_overhead,
+                                                std::vector<LatencySegment>& segments) {
+  // Fast-forward: an SI's latency only changes when an atom load completes on
+  // the reconfiguration port (complete_load / the evictions of the loads it
+  // chains), so all executions starting before the in-flight load's finish
+  // time observe the same latency. Each iteration advances state to `now`,
+  // reads the current latency, and jumps over every execution that fits
+  // before the next port completion — O(port events), not O(count).
+  Cycles total = 0;
+  while (count > 0) {
+    advance_reconfig(now);
+    if (!cache_valid_) refresh_cache();
+    const MoleculeId mol = cached_molecule_[si];
+    const Cycles latency = set_->si(si).latency(mol);
+    const Cycles step = latency + per_execution_overhead;
+    std::uint64_t fit = count;
+    if (port_.busy() && step > 0) {
+      const Cycles finish = port_.inflight()->finishes_at;  // > now after advance
+      fit = std::min<std::uint64_t>(count, (finish - now + step - 1) / step);
+    }
+    monitor_.record_executions(si, fit);
+    if (mol != kSoftwareMolecule) {
+      // Only the last stamp of the stretch survives scalar replay.
+      const Cycles last_start = now + (fit - 1) * step;
+      const Molecule& atoms = set_->si(si).molecule(mol).atoms;
+      for (std::size_t t = 0; t < atoms.dimension(); ++t)
+        if (atoms[t] != 0) type_last_used_[t] = last_start;
+    }
+    append_latency_segment(segments, fit, latency);
+    total += fit * latency;
+    now += fit * step;
+    count -= fit;
+  }
+  return total;
+}
+
+Cycles RunTimeManager::si_execution_span(std::span<const SiRun> runs, Cycles now,
+                                         Cycles per_execution_overhead) {
+  // Between two reconfiguration-port completions *every* SI's latency is
+  // fixed, so a whole port-quiet window replays with pure arithmetic: per
+  // run one step lookup, one monitor bulk-add and one clock advance. LRU
+  // stamps are materialized once per window (only the latest stamp of each
+  // atom type survives scalar replay). Bit-exact with scalar replay.
+  std::size_t i = 0;
+  std::uint64_t remaining = 0;  // rest of runs[i] when a window split it
+  while (i < runs.size()) {
+    // Open a window: advance reconfiguration state to `now`.
+    advance_reconfig(now);
+    if (!cache_valid_) refresh_cache();
+    const bool bounded = port_.busy();
+    const Cycles window_end = bounded ? port_.inflight()->finishes_at : 0;
+    ++span_gen_;
+    span_touched_.clear();
+
+    while (i < runs.size()) {
+      if (bounded && now >= window_end) break;  // next execution sees the load
+      const SiId si = runs[i].si;
+      const std::uint64_t count = remaining > 0 ? remaining : runs[i].count;
+      if (span_step_gen_[si] != span_gen_) {
+        span_step_gen_[si] = span_gen_;
+        span_step_[si] =
+            set_->si(si).latency(cached_molecule_[si]) + per_execution_overhead;
+      }
+      const Cycles step = span_step_[si];
+      std::uint64_t fit = count;
+      if (bounded && step > 0)
+        fit = std::min<std::uint64_t>(count, (window_end - now + step - 1) / step);
+      if (fit > 0) {
+        monitor_.record_executions(si, fit);
+        span_last_start_[si] = now + (fit - 1) * step;
+        if (span_touch_gen_[si] != span_gen_) {
+          span_touch_gen_[si] = span_gen_;
+          span_touched_.push_back(si);
+        }
+        now += fit * step;
+      }
+      if (fit == count) {
+        ++i;
+        remaining = 0;
+      } else {
+        remaining = count - fit;
+        break;  // window exhausted; reopen at the port completion
+      }
+    }
+
+    // Close the window: materialize the LRU stamps while the molecules the
+    // window executed with are still cached (the next advance_reconfig may
+    // change them).
+    for (const SiId si : span_touched_) {
+      const MoleculeId mol = cached_molecule_[si];
+      if (mol == kSoftwareMolecule) continue;
+      const Cycles last = span_last_start_[si];
+      const Molecule& atoms = set_->si(si).molecule(mol).atoms;
+      for (std::size_t t = 0; t < atoms.dimension(); ++t)
+        if (atoms[t] != 0 && type_last_used_[t] < last) type_last_used_[t] = last;
+    }
+  }
+  return now;
 }
 
 }  // namespace rispp

@@ -69,6 +69,11 @@ class RunTimeManager final : public ExecutionBackend {
                          Cycles now) override;
   void on_hot_spot_exit(Cycles now) override;
   Cycles si_execution_latency(SiId si, Cycles now) override;
+  Cycles si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                  Cycles per_execution_overhead,
+                                  std::vector<LatencySegment>& segments) override;
+  Cycles si_execution_span(std::span<const SiRun> runs, Cycles now,
+                           Cycles per_execution_overhead) override;
   std::uint64_t completed_loads() const override { return port_.completed_loads(); }
 
   // -- Introspection (tests, Figure 8 analysis) ------------------------
@@ -108,6 +113,15 @@ class RunTimeManager final : public ExecutionBackend {
   std::vector<MoleculeId> cached_molecule_;  // per SiId
   bool cache_valid_ = false;
   void refresh_cache();
+
+  // Scratch for si_execution_span's port-quiet windows (per SiId, validated
+  // against span_gen_ so windows open without O(si_count) clears).
+  std::uint64_t span_gen_ = 0;
+  std::vector<std::uint64_t> span_step_gen_;   // step cache validity
+  std::vector<Cycles> span_step_;              // latency + overhead this window
+  std::vector<std::uint64_t> span_touch_gen_;  // "executed this window" marker
+  std::vector<Cycles> span_last_start_;        // last execution start this window
+  std::vector<SiId> span_touched_;             // SIs executed this window
 };
 
 }  // namespace rispp

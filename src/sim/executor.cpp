@@ -4,7 +4,35 @@
 
 namespace rispp {
 
-SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend, SimStats* stats) {
+Cycles ExecutionBackend::si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                                  Cycles per_execution_overhead,
+                                                  std::vector<LatencySegment>& segments) {
+  Cycles total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Cycles latency = si_execution_latency(si, now);
+    append_latency_segment(segments, 1, latency);
+    total += latency;
+    now += latency + per_execution_overhead;
+  }
+  return total;
+}
+
+Cycles ExecutionBackend::si_execution_span(std::span<const SiRun> runs, Cycles now,
+                                           Cycles per_execution_overhead) {
+  std::vector<LatencySegment> segments;
+  for (const SiRun& run : runs) {
+    segments.clear();
+    const Cycles total =
+        si_execution_run_latency(run.si, run.count, now, per_execution_overhead, segments);
+    now += total + run.count * per_execution_overhead;
+  }
+  return now;
+}
+
+namespace {
+
+SimResult run_trace_scalar(const WorkloadTrace& trace, ExecutionBackend& backend,
+                           SimStats* stats) {
   SimResult result;
   result.hot_spot_cycles.assign(trace.hot_spots.size(), 0);
   Cycles now = 0;
@@ -26,6 +54,71 @@ SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend, SimSt
   result.total_cycles = now;
   result.atom_loads = backend.completed_loads();
   return result;
+}
+
+SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backend,
+                            SimStats* stats) {
+  SimResult result;
+  result.hot_spot_cycles.assign(trace.hot_spots.size(), 0);
+  Cycles now = 0;
+  std::vector<LatencySegment> segments;
+  std::vector<SiRun> local_runs;  // fallback when the trace has no run form
+  for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
+    const HotSpotInstance& inst = trace.instances[idx];
+    const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
+    const Cycles entered = now;
+    now += inst.entry_overhead;
+    backend.on_hot_spot_entry(trace, idx, now);
+    const std::vector<SiRun>* runs = &inst.runs;
+    if (runs->empty() && !inst.executions.empty()) {
+      local_runs.clear();
+      for (SiId si : inst.executions) {
+        if (!local_runs.empty() && local_runs.back().si == si)
+          ++local_runs.back().count;
+        else
+          local_runs.push_back(SiRun{si, 1});
+      }
+      runs = &local_runs;
+    }
+    if (!stats) {
+      // No per-execution observation needed: let the backend fast-forward
+      // the whole instance (port-quiet windows advance in pure arithmetic).
+      now = backend.si_execution_span(std::span<const SiRun>(*runs), now,
+                                      info.per_execution_overhead);
+      result.si_executions += inst.executions.size();
+      backend.on_hot_spot_exit(now);
+      result.hot_spot_cycles[inst.hot_spot] += now - entered;
+      continue;
+    }
+    for (const SiRun& run : *runs) {
+      segments.clear();
+      backend.si_execution_run_latency(run.si, run.count, now,
+                                       info.per_execution_overhead, segments);
+      std::uint64_t segmented = 0;
+      for (const LatencySegment& seg : segments) {
+        const Cycles step = seg.latency + info.per_execution_overhead;
+        if (stats) stats->record_run(run.si, now, seg.count, step, seg.latency);
+        now += seg.count * step;
+        segmented += seg.count;
+      }
+      RISPP_CHECK_MSG(segmented == run.count,
+                      "backend latency segments do not cover the run");
+      result.si_executions += run.count;
+    }
+    backend.on_hot_spot_exit(now);
+    result.hot_spot_cycles[inst.hot_spot] += now - entered;
+  }
+  result.total_cycles = now;
+  result.atom_loads = backend.completed_loads();
+  return result;
+}
+
+}  // namespace
+
+SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend, SimStats* stats,
+                    ReplayMode mode) {
+  return mode == ReplayMode::kScalar ? run_trace_scalar(trace, backend, stats)
+                                     : run_trace_batched(trace, backend, stats);
 }
 
 }  // namespace rispp

@@ -6,16 +6,43 @@
 // clock by that latency plus the base-processor overhead the trace recorded.
 // Reconfiguration happens inside the backend, concurrent with execution, as
 // in the real platform (the port works while the pipeline executes).
+//
+// Two replay modes produce bit-exact identical results:
+//  - kScalar: one si_execution_latency() call per execution (the reference).
+//  - kBatched: one si_execution_run_latency() call per run of consecutive
+//    identical executions. A backend's SI latency only changes when an atom
+//    load completes on the reconfiguration port, so between port-completion
+//    events a run of N executions advances in O(1) instead of O(N).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "base/types.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
 namespace rispp {
+
+/// A maximal stretch of executions within one run that all observed the same
+/// latency (the latency can only change at reconfiguration-port events).
+struct LatencySegment {
+  std::uint64_t count = 0;
+  Cycles latency = 0;
+};
+
+/// Appends `count` executions of `latency` to `segments`, coalescing with the
+/// last segment when the latency is unchanged.
+inline void append_latency_segment(std::vector<LatencySegment>& segments,
+                                   std::uint64_t count, Cycles latency) {
+  if (count == 0) return;
+  if (!segments.empty() && segments.back().latency == latency)
+    segments.back().count += count;
+  else
+    segments.push_back(LatencySegment{count, latency});
+}
 
 class ExecutionBackend {
  public:
@@ -35,12 +62,41 @@ class ExecutionBackend {
   /// advance its internal reconfiguration state to `now`.
   virtual Cycles si_execution_latency(SiId si, Cycles now) = 0;
 
+  /// Batched form: `count` back-to-back executions of `si`, the first
+  /// starting at `now`, consecutive starts spaced by the observed latency
+  /// plus `per_execution_overhead`. Appends the observed latency segments to
+  /// `segments` (their counts must sum to `count`) and returns the summed
+  /// latency (overheads excluded). Must be bit-exact with `count` scalar
+  /// calls. The default loops the scalar path; backends whose latency only
+  /// changes at reconfiguration-port events override it to fast-forward
+  /// whole runs in O(port events).
+  virtual Cycles si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
+                                          Cycles per_execution_overhead,
+                                          std::vector<LatencySegment>& segments);
+
+  /// Whole-instance form for stats-less replay: executes every run of a
+  /// hot-spot instance back to back, the first execution starting at `now`,
+  /// and returns the cycle after the last execution's overhead. Must be
+  /// bit-exact with per-run replay. The default loops
+  /// si_execution_run_latency; backends override it to replay entire
+  /// port-quiet windows (during which *every* SI's latency is fixed) with
+  /// pure arithmetic, amortizing one virtual call over a whole instance.
+  virtual Cycles si_execution_span(std::span<const SiRun> runs, Cycles now,
+                                   Cycles per_execution_overhead);
+
   /// Completed atom loads so far (0 for baselines without reconfiguration).
   virtual std::uint64_t completed_loads() const { return 0; }
 };
 
-/// Replays `trace` against `backend`. `stats` is optional.
+enum class ReplayMode {
+  kScalar,   // one backend call per SI execution (reference path)
+  kBatched,  // one backend call per run of identical SI executions
+};
+
+/// Replays `trace` against `backend`. `stats` is optional. Both modes yield
+/// bit-exact identical SimResult and SimStats (tests/replay_equivalence_test
+/// asserts this across every backend).
 SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend,
-                    SimStats* stats = nullptr);
+                    SimStats* stats = nullptr, ReplayMode mode = ReplayMode::kBatched);
 
 }  // namespace rispp

@@ -20,6 +20,40 @@ void SimStats::record_execution(SiId si, Cycles now, Cycles latency) {
   if (tl.empty() || tl.back().latency != latency) tl.push_back({now, latency});
 }
 
+void SimStats::record_run(SiId si, Cycles start, std::uint64_t count, Cycles step,
+                          Cycles latency) {
+  if (count == 0) return;
+  RISPP_CHECK(si < total_executions_.size());
+  total_executions_[si] += count;
+  auto& tl = latency_[si];
+  if (tl.empty() || tl.back().latency != latency) tl.push_back({start, latency});
+
+  const Cycles last = start + (count - 1) * step;
+  const std::size_t last_bucket = static_cast<std::size_t>(last / kBucketCycles);
+  if (last_bucket >= bucket_exec_.size())
+    bucket_exec_.resize(last_bucket + 1,
+                        std::vector<std::uint64_t>(total_executions_.size(), 0));
+  if (step == 0) {
+    bucket_exec_[static_cast<std::size_t>(start / kBucketCycles)][si] += count;
+    return;
+  }
+  // Executions j=0..count-1 start at start + j*step; bucket b holds those
+  // with start_j < (b+1)*kBucketCycles not yet attributed to earlier buckets.
+  std::uint64_t attributed = 0;
+  for (std::size_t b = static_cast<std::size_t>(start / kBucketCycles);
+       attributed < count; ++b) {
+    const Cycles bucket_end = static_cast<Cycles>(b + 1) * kBucketCycles;
+    const std::uint64_t up_to =
+        bucket_end > start
+            ? std::min<std::uint64_t>(count, (bucket_end - start + step - 1) / step)
+            : 0;
+    if (up_to > attributed) {
+      bucket_exec_[b][si] += up_to - attributed;
+      attributed = up_to;
+    }
+  }
+}
+
 std::uint64_t SimStats::total_executions() const {
   return std::accumulate(total_executions_.begin(), total_executions_.end(),
                          std::uint64_t{0});

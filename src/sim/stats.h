@@ -19,6 +19,12 @@ class SimStats {
   /// One SI execution started at `now` and took `latency` cycles.
   void record_execution(SiId si, Cycles now, Cycles latency);
 
+  /// Bulk form for the batched replay path: `count` executions of `si`, the
+  /// first starting at `start`, consecutive starts `step` cycles apart, each
+  /// taking `latency` cycles. Bit-exact with `count` record_execution calls
+  /// but O(buckets touched) instead of O(count).
+  void record_run(SiId si, Cycles start, std::uint64_t count, Cycles step, Cycles latency);
+
   std::uint64_t executions(SiId si) const { return total_executions_[si]; }
   std::uint64_t total_executions() const;
 

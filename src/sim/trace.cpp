@@ -39,17 +39,37 @@ std::string get_string(std::istream& is) {
 }  // namespace
 
 std::size_t WorkloadTrace::total_si_executions() const {
+  if (runs_built_) return static_cast<std::size_t>(total_executions_);
   std::size_t n = 0;
   for (const auto& inst : instances) n += inst.executions.size();
   return n;
 }
 
 std::uint64_t WorkloadTrace::executions_of(SiId si) const {
+  if (runs_built_) return si < executions_per_si_.size() ? executions_per_si_[si] : 0;
   std::uint64_t n = 0;
   for (const auto& inst : instances)
     for (SiId s : inst.executions)
       if (s == si) ++n;
   return n;
+}
+
+void WorkloadTrace::build_runs() {
+  total_executions_ = 0;
+  executions_per_si_.clear();
+  for (auto& inst : instances) {
+    inst.runs.clear();
+    for (SiId si : inst.executions) {
+      if (!inst.runs.empty() && inst.runs.back().si == si)
+        ++inst.runs.back().count;
+      else
+        inst.runs.push_back(SiRun{si, 1});
+      if (si >= executions_per_si_.size()) executions_per_si_.resize(si + 1, 0);
+      ++executions_per_si_[si];
+    }
+    total_executions_ += inst.executions.size();
+  }
+  runs_built_ = true;
 }
 
 void WorkloadTrace::save(std::ostream& os) const {
@@ -95,6 +115,7 @@ WorkloadTrace WorkloadTrace::load(std::istream& is) {
             static_cast<std::streamsize>(n * sizeof(SiId)));
     RISPP_CHECK(is.good());
   }
+  trace.build_runs();
   return trace;
 }
 

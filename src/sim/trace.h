@@ -6,6 +6,11 @@
 // encoder records a trace once; the cycle-level executor then replays it
 // under any Run-Time Manager / scheduler / AC-count configuration — the same
 // record-replay methodology as the paper's simulation toolchain.
+//
+// Real SI streams are extremely repetitive (motion estimation issues tens of
+// thousands of consecutive SADs), so each instance also carries a run-length
+// encoded view of its executions. The batched replay path (sim/executor.h)
+// consumes whole runs at once instead of one virtual call per execution.
 #pragma once
 
 #include <cstdint>
@@ -18,13 +23,27 @@
 
 namespace rispp {
 
+/// A maximal run of consecutive identical SI executions.
+struct SiRun {
+  SiId si = 0;
+  std::uint32_t count = 0;
+};
+
 struct HotSpotInstance {
+  HotSpotInstance() = default;
+  HotSpotInstance(HotSpotId hs, std::vector<SiId> execs, Cycles entry)
+      : hot_spot(hs), executions(std::move(execs)), entry_overhead(entry) {}
+
   HotSpotId hot_spot = 0;
   /// SI executions in program order.
   std::vector<SiId> executions;
   /// Base-processor cycles spent entering the hot spot (control code, cache
   /// warmup) before the first SI.
   Cycles entry_overhead = 0;
+  /// Run-length encoding of `executions` (consecutive identical SIs
+  /// coalesced). Empty until WorkloadTrace::build_runs(); the batched
+  /// executor falls back to an on-the-fly encoding when empty.
+  std::vector<SiRun> runs;
 };
 
 struct HotSpotInfo {
@@ -43,9 +62,23 @@ struct WorkloadTrace {
   /// Executions of one SI across the whole trace.
   std::uint64_t executions_of(SiId si) const;
 
+  /// Builds the per-instance run forms and caches per-SI execution totals so
+  /// total_si_executions()/executions_of() stop rescanning instances.
+  /// Idempotent; re-call after mutating `instances`. Sweeps share one const
+  /// trace across threads, so build the runs once before fanning out —
+  /// load() and the workload generators already do.
+  void build_runs();
+  bool runs_built() const { return runs_built_; }
+
   /// Compact binary serialization (cache for expensive workload generation).
+  /// The run form is not serialized; load() rebuilds it.
   void save(std::ostream& os) const;
   static WorkloadTrace load(std::istream& is);
+
+ private:
+  std::vector<std::uint64_t> executions_per_si_;  // cached totals, by SiId
+  std::uint64_t total_executions_ = 0;
+  bool runs_built_ = false;
 };
 
 }  // namespace rispp

@@ -1,0 +1,115 @@
+// The sweep thread pool (base/parallel.h): every index runs exactly once,
+// results are independent of the thread count, exceptions propagate, and
+// nested calls degrade to serial instead of deadlocking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/parallel.h"
+
+namespace rispp {
+namespace {
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto sweep = [](ThreadPool& pool) {
+    std::vector<std::uint64_t> out(257);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      std::uint64_t v = i + 1;
+      for (int k = 0; k < 50; ++k) v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+      out[i] = v;
+    });
+    return out;
+  };
+  ThreadPool serial(1), two(2), four(4);
+  const auto a = sweep(serial);
+  EXPECT_EQ(a, sweep(two));
+  EXPECT_EQ(a, sweep(four));
+}
+
+TEST(ParallelFor, EmptyAndSingleElement) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::size_t i) {
+                            if (i == 42) throw std::runtime_error("cell failed");
+                          }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestIndexFailureAndFinishesAllIndices) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    try {
+      pool.parallel_for(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 7 || i == 55) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "7");
+    }
+    // The failing cells do not abort the rest of the sweep.
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    // Reentrant use from inside a job must not deadlock on the single-job
+    // pool; it falls back to a serial loop on the calling thread.
+    pool.parallel_for(8, [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, GlobalWrapperAndThreadCount) {
+  EXPECT_GE(parallel_thread_count(), 1u);
+  EXPECT_EQ(ThreadPool::global().thread_count(), parallel_thread_count());
+  std::atomic<int> sum{0};
+  parallel_for(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+}  // namespace
+}  // namespace rispp

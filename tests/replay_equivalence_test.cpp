@@ -1,0 +1,220 @@
+// Bit-exactness of the run-batched fast-forward replay (ReplayMode::kBatched,
+// the default) against the scalar reference path (ReplayMode::kScalar), for
+// every backend the repo ships. The batched path may only change simulator
+// wall-clock, never a simulated number: total cycles, per-hot-spot cycles,
+// load counts, stats buckets and latency timelines must all match.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/molen.h"
+#include "baselines/onechip.h"
+#include "baselines/software_only.h"
+#include "baselines/static_asip.h"
+#include "h264/workload.h"
+#include "isa/h264_si_library.h"
+#include "rtm/run_time_manager.h"
+#include "sched/registry.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+
+namespace rispp {
+namespace {
+
+class ReplayEquivalenceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new SpecialInstructionSet(h264sis::build_h264_si_set());
+    h264::WorkloadConfig config;
+    config.frames = kFrames;
+    trace_ = new WorkloadTrace(h264::generate_h264_workload(*set_, config).trace);
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete set_;
+  }
+
+  struct Observed {
+    SimResult result;
+    std::uint64_t loads = 0;
+  };
+
+  // Runs the trace twice with `make_backend` producing a fresh backend each
+  // time, and asserts the batched replay matches the scalar one exactly —
+  // including the per-bucket stats and latency timelines.
+  template <typename MakeBackend>
+  static void expect_equivalent(MakeBackend&& make_backend, const std::string& label) {
+    SCOPED_TRACE(label);
+    SimStats scalar_stats(set_->si_count()), batched_stats(set_->si_count());
+    Observed scalar, batched;
+    {
+      auto backend = make_backend();
+      scalar.result = run_trace(*trace_, *backend, &scalar_stats, ReplayMode::kScalar);
+      scalar.loads = backend->completed_loads();
+    }
+    {
+      auto backend = make_backend();
+      batched.result = run_trace(*trace_, *backend, &batched_stats, ReplayMode::kBatched);
+      batched.loads = backend->completed_loads();
+    }
+    EXPECT_EQ(scalar.result.total_cycles, batched.result.total_cycles);
+    EXPECT_EQ(scalar.result.si_executions, batched.result.si_executions);
+    EXPECT_EQ(scalar.result.atom_loads, batched.result.atom_loads);
+    EXPECT_EQ(scalar.result.hot_spot_cycles, batched.result.hot_spot_cycles);
+    EXPECT_EQ(scalar.loads, batched.loads);
+
+    ASSERT_EQ(scalar_stats.bucket_count(), batched_stats.bucket_count());
+    for (SiId si = 0; si < set_->si_count(); ++si) {
+      EXPECT_EQ(scalar_stats.executions(si), batched_stats.executions(si)) << "si " << si;
+      for (std::size_t b = 0; b < scalar_stats.bucket_count(); ++b)
+        ASSERT_EQ(scalar_stats.bucket_executions(si, b),
+                  batched_stats.bucket_executions(si, b))
+            << "si " << si << " bucket " << b;
+      const auto& st = scalar_stats.latency_timeline(si);
+      const auto& bt = batched_stats.latency_timeline(si);
+      ASSERT_EQ(st.size(), bt.size()) << "si " << si;
+      for (std::size_t p = 0; p < st.size(); ++p) {
+        EXPECT_EQ(st[p].at, bt[p].at) << "si " << si << " point " << p;
+        EXPECT_EQ(st[p].latency, bt[p].latency) << "si " << si << " point " << p;
+      }
+    }
+
+    // The stats-free span fast path must agree with the stats path too.
+    auto backend = make_backend();
+    const SimResult span = run_trace(*trace_, *backend, nullptr, ReplayMode::kBatched);
+    EXPECT_EQ(scalar.result.total_cycles, span.total_cycles);
+    EXPECT_EQ(scalar.result.si_executions, span.si_executions);
+    EXPECT_EQ(scalar.result.atom_loads, span.atom_loads);
+    EXPECT_EQ(scalar.result.hot_spot_cycles, span.hot_spot_cycles);
+  }
+
+  static constexpr int kFrames = 8;
+  static SpecialInstructionSet* set_;
+  static WorkloadTrace* trace_;
+};
+
+SpecialInstructionSet* ReplayEquivalenceFixture::set_ = nullptr;
+WorkloadTrace* ReplayEquivalenceFixture::trace_ = nullptr;
+
+struct RtmHolder {
+  std::unique_ptr<AtomScheduler> scheduler;
+  std::unique_ptr<RunTimeManager> rtm;
+  std::uint64_t completed_loads() const { return rtm->completed_loads(); }
+  operator RunTimeManager&() { return *rtm; }
+};
+
+TEST_F(ReplayEquivalenceFixture, RtmAllSchedulersAllBudgets) {
+  for (const auto& name : scheduler_names()) {
+    for (const unsigned acs : {6u, 10u, 17u, 24u}) {
+      expect_equivalent(
+          [&] {
+            auto holder = std::make_unique<RtmHolder>();
+            holder->scheduler = make_scheduler(name);
+            RtmConfig config;
+            config.container_count = acs;
+            config.scheduler = holder->scheduler.get();
+            holder->rtm = std::make_unique<RunTimeManager>(
+                set_, trace_->hot_spots.size(), config);
+            h264::seed_default_forecasts(*set_, *holder->rtm);
+            return holder;
+          },
+          name + "@" + std::to_string(acs));
+    }
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, RtmWithPrefetchEnabled) {
+  expect_equivalent(
+      [&] {
+        auto holder = std::make_unique<RtmHolder>();
+        holder->scheduler = make_scheduler("HEF");
+        RtmConfig config;
+        config.container_count = 12;
+        config.scheduler = holder->scheduler.get();
+        config.enable_prefetch = true;
+        holder->rtm =
+            std::make_unique<RunTimeManager>(set_, trace_->hot_spots.size(), config);
+        h264::seed_default_forecasts(*set_, *holder->rtm);
+        return holder;
+      },
+      "HEF@12+prefetch");
+}
+
+TEST_F(ReplayEquivalenceFixture, RtmOracleForecastAndPaybackDisabled) {
+  expect_equivalent(
+      [&] {
+        auto holder = std::make_unique<RtmHolder>();
+        holder->scheduler = make_scheduler("ASF");
+        RtmConfig config;
+        config.container_count = 10;
+        config.scheduler = holder->scheduler.get();
+        config.forecast_mode = ForecastMode::kOracle;
+        config.payback_horizon = 0;
+        holder->rtm =
+            std::make_unique<RunTimeManager>(set_, trace_->hot_spots.size(), config);
+        h264::seed_default_forecasts(*set_, *holder->rtm);
+        return holder;
+      },
+      "ASF@10+oracle+horizon0");
+}
+
+TEST_F(ReplayEquivalenceFixture, MolenBaseline) {
+  for (const unsigned acs : {6u, 10u, 17u, 24u}) {
+    expect_equivalent(
+        [&] {
+          MolenConfig config;
+          config.container_count = acs;
+          auto molen = std::make_unique<MolenBackend>(set_, trace_->hot_spots.size(),
+                                                      config);
+          h264::seed_default_forecasts(*set_, *molen);
+          return molen;
+        },
+        "Molen@" + std::to_string(acs));
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, OneChipBaseline) {
+  for (const unsigned acs : {6u, 10u, 17u, 24u}) {
+    expect_equivalent(
+        [&] {
+          OneChipConfig config;
+          config.container_count = acs;
+          auto onechip = std::make_unique<OneChipBackend>(set_, trace_->hot_spots.size(),
+                                                          config);
+          h264::seed_default_forecasts(*set_, *onechip);
+          return onechip;
+        },
+        "OneChip@" + std::to_string(acs));
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, SoftwareOnlyBaseline) {
+  expect_equivalent([&] { return std::make_unique<SoftwareOnlyBackend>(set_); },
+                    "SoftwareOnly");
+}
+
+TEST_F(ReplayEquivalenceFixture, StaticAsipBaseline) {
+  expect_equivalent([&] { return std::make_unique<StaticAsipBackend>(set_); },
+                    "StaticASIP");
+}
+
+// The RLE run form must cover exactly the execution sequence it encodes.
+TEST_F(ReplayEquivalenceFixture, TraceRunsMatchExecutions) {
+  ASSERT_TRUE(trace_->runs_built());
+  for (const HotSpotInstance& inst : trace_->instances) {
+    std::vector<SiId> expanded;
+    for (const SiRun& run : inst.runs) {
+      ASSERT_GT(run.count, 0u);
+      for (std::uint32_t i = 0; i < run.count; ++i) expanded.push_back(run.si);
+    }
+    ASSERT_EQ(expanded, inst.executions);
+    // Adjacent runs were coalesced: no two consecutive runs share an SI.
+    for (std::size_t i = 1; i < inst.runs.size(); ++i)
+      EXPECT_NE(inst.runs[i - 1].si, inst.runs[i].si);
+  }
+}
+
+}  // namespace
+}  // namespace rispp
