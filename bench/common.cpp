@@ -2,38 +2,69 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include "base/env.h"
 
 namespace rispp::bench {
 
 int bench_frames() {
-  if (const char* env = std::getenv("RISPP_FRAMES")) {
-    const int frames = std::atoi(env);
-    if (frames > 0) return frames;
-  }
-  return 140;  // the paper's sequence length
+  return static_cast<int>(parse_env_int("RISPP_FRAMES", 140,  // the paper's length
+                                        1, 1'000'000));
+}
+
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const h264::WorkloadConfig& config) {
+  std::uint64_t hash = fingerprint(set);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.frames));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.width));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.height));
+  hash = fingerprint_mix(hash, config.video.seed);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.object_count));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.cut_period));
+  hash = fingerprint_mix(hash,
+                         static_cast<std::uint64_t>(config.video.noise_stddev * 1024.0));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.qp));
+  hash = fingerprint_mix(hash,
+                         static_cast<std::uint64_t>(config.encoder.search.search_range));
+  hash = fingerprint_mix(hash, config.encoder.search.early_exit);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.alpha));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.beta));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.intra_bias_num));
+  hash = fingerprint_mix(
+      hash, static_cast<std::uint64_t>(config.encoder.strong_edge_threshold));
+  hash = fingerprint_mix(hash, config.per_execution_overhead);
+  hash = fingerprint_mix(hash, config.hot_spot_entry_overhead);
+  return hash;
+}
+
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const h264::WorkloadConfig& config) {
+  std::filesystem::path dir;
+  if (const char* env = std::getenv("RISPP_TRACE_DIR")) dir = env;
+  else dir = std::filesystem::temp_directory_path();
+  char key[32];
+  std::snprintf(key, sizeof key, "%016" PRIx64, workload_fingerprint(set, config));
+  return dir / ("rispp_h264_trace_v" + std::to_string(h264::kWorkloadTraceVersion) + "_" +
+                std::to_string(config.frames) + "_" + key + ".rtrc");
 }
 
 namespace {
 
-std::filesystem::path trace_cache_path(int frames) {
-  std::filesystem::path dir;
-  if (const char* env = std::getenv("RISPP_TRACE_DIR")) dir = env;
-  else dir = std::filesystem::temp_directory_path();
-  return dir / ("rispp_h264_trace_v" + std::to_string(h264::kWorkloadTraceVersion) + "_" +
-                std::to_string(frames) + ".rtrc");
-}
-
 // Concurrent bench binaries may race to fill the cache: write to a
-// pid-unique temp file and rename it into place, so a reader never sees a
-// partially written trace.
+// pid-and-thread-unique temp file and rename it into place, so a reader
+// never sees a partially written trace. The atomic counter keeps two
+// BenchContexts constructed concurrently in one process (in-process
+// drivers, tests) from clobbering each other's temp file.
 void save_trace_cache(const WorkloadTrace& trace, const std::filesystem::path& path) {
-  const std::filesystem::path tmp =
-      path.string() + "." + std::to_string(::getpid()) + ".tmp";
+  static std::atomic<unsigned> counter{0};
+  const std::filesystem::path tmp = path.string() + "." + std::to_string(::getpid()) +
+                                    "." + std::to_string(counter.fetch_add(1)) + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary);
     if (!out.good()) return;
@@ -51,27 +82,32 @@ void save_trace_cache(const WorkloadTrace& trace, const std::filesystem::path& p
 }
 
 WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
-  const auto path = trace_cache_path(frames);
+  h264::WorkloadConfig config;
+  config.frames = frames;
+  const auto path = trace_cache_path(set, config);
   {
     std::ifstream in(path, std::ios::binary);
     if (in.good()) {
       try {
         return WorkloadTrace::load(in);
       } catch (const std::exception&) {
-        // Stale/corrupt cache: fall through to regeneration.
+        // Corrupt cache: fall through to regeneration.
       }
     }
   }
   std::fprintf(stderr, "[bench] encoding %d synthetic CIF frames (cached at %s)...\n",
                frames, path.string().c_str());
-  h264::WorkloadConfig config;
-  config.frames = frames;
   WorkloadTrace trace = h264::generate_h264_workload(set, config).trace;
   save_trace_cache(trace, path);
   return trace;
 }
 
 }  // namespace
+
+void warm_trace_cache() {
+  const SpecialInstructionSet set = h264sis::build_h264_si_set();
+  load_or_generate(set, bench_frames());
+}
 
 BenchContext::BenchContext()
     : set(h264sis::build_h264_si_set()),
@@ -117,10 +153,14 @@ BenchPerfLog::~BenchPerfLog() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "[bench] cannot create RISPP_BENCH_JSON_DIR %s: %s\n", dir,
+                 ec.message().c_str());
+    return;
+  }
   const std::filesystem::path path =
       std::filesystem::path(dir) / ("BENCH_" + name_ + ".json");
   std::ofstream out(path);
-  if (!out.good()) return;
   out << "{\n"
       << "  \"bench\": \"" << name_ << "\",\n"
       << "  \"wall_seconds\": " << seconds << ",\n"
@@ -129,6 +169,10 @@ BenchPerfLog::~BenchPerfLog() {
       << "  \"threads\": " << parallel_thread_count() << ",\n"
       << "  \"frames\": " << bench_frames() << "\n"
       << "}\n";
+  out.flush();
+  if (!out.good())
+    std::fprintf(stderr, "[bench] failed to write perf record %s\n",
+                 path.string().c_str());
 }
 
 }  // namespace rispp::bench

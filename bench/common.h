@@ -2,9 +2,11 @@
 //
 // Every report binary replays the same 140-frame CIF H.264 workload (the
 // paper's evaluation run). Generating the trace takes a few seconds, so it
-// is cached on disk keyed by frame count; RISPP_FRAMES overrides the length
-// (e.g. RISPP_FRAMES=20 for a quick pass) and RISPP_TRACE_DIR the cache
-// location (default: the system temp directory).
+// is cached on disk keyed by trace version, frame count and a fingerprint
+// of the SI set + workload config (so edits to the library can never replay
+// a stale trace); RISPP_FRAMES overrides the length (e.g. RISPP_FRAMES=20
+// for a quick pass) and RISPP_TRACE_DIR the cache location (default: the
+// system temp directory).
 //
 // Sweeps fan their cells across cores with run_sweep (RISPP_THREADS
 // controls the width). Thread-safety contract: every run_* call builds its
@@ -15,6 +17,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -51,7 +55,28 @@ struct BenchContext {
 };
 
 /// Number of frames the benches use (env RISPP_FRAMES, default 140).
+/// RISPP_FRAMES must be an integer >= 1 — garbage or 0 is a loud error
+/// (exit kEnvParseExitCode), never a silent fall-back to the default.
 int bench_frames();
+
+/// Digest of everything that determines a recorded trace's contents: the SI
+/// set (names, molecule tables — isa fingerprint()) plus the WorkloadConfig
+/// fields. Editing the H.264 SI library or the workload parameters changes
+/// the digest, so a stale cached trace can never be replayed.
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const h264::WorkloadConfig& config);
+
+/// Cache file the bench trace for `config` lives at: keyed by
+/// kWorkloadTraceVersion, the frame count and workload_fingerprint(). Honors
+/// RISPP_TRACE_DIR (default: the system temp directory).
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const h264::WorkloadConfig& config);
+
+/// Ensures the shared trace cache holds the bench workload (generating it if
+/// missing), without constructing a full BenchContext. The concurrent bench
+/// driver calls this once before fanning report binaries out, so every child
+/// hits a warm cache instead of racing to encode the sequence.
+void warm_trace_cache();
 
 /// Fans `fn` over `cells` with parallel_for; results keep cell order, so the
 /// output is deterministic regardless of RISPP_THREADS. `fn` must not touch
@@ -67,7 +92,8 @@ auto run_sweep(const std::vector<Cell>& cells, Fn&& fn) {
 /// Machine-readable perf trajectory: when RISPP_BENCH_JSON_DIR is set, the
 /// destructor writes <dir>/BENCH_<name>.json with wall-clock seconds,
 /// cells/sec, thread count and frame count, so speedups stay trackable
-/// across PRs. Off (no I/O) when the variable is unset.
+/// across PRs. Off (no I/O) when the variable is unset; a failed write
+/// (missing/unwritable dir) is reported on stderr, never swallowed.
 class BenchPerfLog {
  public:
   explicit BenchPerfLog(std::string name);

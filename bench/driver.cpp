@@ -1,0 +1,321 @@
+#include "bench/driver.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <system_error>
+
+#include "base/check.h"
+#include "base/table.h"
+
+namespace rispp::bench {
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Classic two-pointer wildcard match with '*' backtracking.
+  std::size_t p = 0, n = 0, star = std::string::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<std::filesystem::path> discover_reports(const std::filesystem::path& bench_dir) {
+  std::vector<std::filesystem::path> reports;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(bench_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name == "micro_ops") continue;  // google-benchmark micro suite, not a report
+    if (::access(entry.path().c_str(), X_OK) != 0) continue;
+    reports.push_back(entry.path());
+  }
+  std::sort(reports.begin(), reports.end());
+  return reports;
+}
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The records are our own fixed "key": value format (BenchPerfLog), so a
+// targeted scan beats a JSON dependency: find `"key"`, skip `: `, parse the
+// value. Good for both BENCH_<name>.json and BENCH_SUITE.json chunks.
+std::optional<double> find_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t p = at + needle.size();
+  while (p < text.size() && (text[p] == ':' || text[p] == ' ')) ++p;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str() + p, &end);
+  if (end == text.c_str() + p) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> find_string(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  at = text.find('"', at + needle.size() + 1);  // opening quote of the value
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t close = text.find('"', at + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return text.substr(at + 1, close - at - 1);
+}
+
+std::optional<PerfRecord> parse_perf_text(const std::string& text) {
+  const auto bench = find_string(text, "bench");
+  const auto wall = find_number(text, "wall_seconds");
+  if (!bench || !wall) return std::nullopt;
+  PerfRecord record;
+  record.bench = *bench;
+  record.wall_seconds = *wall;
+  record.cells = find_number(text, "cells").value_or(0.0);
+  record.cells_per_sec = find_number(text, "cells_per_sec").value_or(0.0);
+  record.threads = find_number(text, "threads").value_or(0.0);
+  record.frames = find_number(text, "frames").value_or(0.0);
+  return record;
+}
+
+/// The single BENCH_*.json a child wrote into its private json dir, if any.
+std::optional<PerfRecord> collect_child_record(const std::filesystem::path& json_dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(json_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().filename().string().rfind("BENCH_", 0) != 0) continue;
+    if (auto record = parse_perf_record(entry.path())) return record;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path) {
+  return parse_perf_text(read_file(path));
+}
+
+std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& binaries,
+                                      const DriverOptions& options, std::ostream& status) {
+  using Clock = std::chrono::steady_clock;
+  const std::filesystem::path log_dir = options.out_dir / "logs";
+  const std::filesystem::path json_dir = options.out_dir / "json";
+  std::filesystem::create_directories(log_dir);
+  std::filesystem::create_directories(json_dir);
+
+  std::vector<ReportResult> results(binaries.size());
+  std::vector<Clock::time_point> started(binaries.size());
+  std::map<pid_t, std::size_t> running;
+  std::size_t next = 0, done = 0;
+  const std::string threads = std::to_string(options.threads_per_child);
+
+  const auto launch = [&](std::size_t i) {
+    ReportResult& r = results[i];
+    r.binary = binaries[i];
+    r.name = binaries[i].filename().string();
+    r.log = log_dir / (r.name + ".log");
+    const std::filesystem::path child_json = json_dir / r.name;
+    std::filesystem::create_directories(child_json);
+
+    const int fd = ::open(r.log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    RISPP_CHECK_MSG(fd >= 0, "cannot open log " << r.log.string());
+    started[i] = Clock::now();
+    const pid_t pid = ::fork();
+    RISPP_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      // Child: own stdout/stderr, a private perf-record dir, and its share
+      // of the host's threads so `jobs` children never oversubscribe it.
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+      ::setenv("RISPP_THREADS", threads.c_str(), 1);
+      ::setenv("RISPP_BENCH_JSON_DIR", child_json.c_str(), 1);
+      ::execl(binaries[i].c_str(), binaries[i].c_str(), (char*)nullptr);
+      std::fprintf(stderr, "exec %s: %s\n", binaries[i].c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fd);
+    running.emplace(pid, i);
+  };
+
+  while (next < binaries.size() || !running.empty()) {
+    while (next < binaries.size() && running.size() < std::max(1u, options.jobs))
+      launch(next++);
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      RISPP_CHECK_MSG(false, "waitpid failed: " << std::strerror(errno));
+    }
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;  // not one of ours
+    const std::size_t i = it->second;
+    running.erase(it);
+    ReportResult& r = results[i];
+    r.wall_seconds = std::chrono::duration<double>(Clock::now() - started[i]).count();
+    r.exit_code = WIFSIGNALED(wstatus) ? 128 + WTERMSIG(wstatus)
+                                       : WEXITSTATUS(wstatus);
+    r.perf = collect_child_record(json_dir / r.name);
+    ++done;
+    char line[256];
+    std::snprintf(line, sizeof line, "[%2zu/%zu] %-28s %8.2fs  %s", done, binaries.size(),
+                  r.name.c_str(), r.wall_seconds,
+                  r.exit_code == 0 ? "ok" : ("exit " + std::to_string(r.exit_code)).c_str());
+    status << line << '\n' << std::flush;
+  }
+  return results;
+}
+
+std::string render_summary_table(const std::vector<ReportResult>& results) {
+  TextTable table({"report", "wall [s]", "cells", "cells/s", "exit"});
+  for (const ReportResult& r : results) {
+    const double cells = r.perf ? r.perf->cells : 0.0;
+    const double rate = r.perf ? r.perf->cells_per_sec : 0.0;
+    table.add(r.name, format_fixed(r.wall_seconds, 2),
+              cells > 0.0 ? format_fixed(cells, 0) : "-",
+              rate > 0.0 ? format_fixed(rate, 1) : "-",
+              r.exit_code == 0 ? "ok" : std::to_string(r.exit_code));
+  }
+  return table.render();
+}
+
+void write_suite(const std::vector<ReportResult>& results, int frames,
+                 const DriverOptions& options, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"frames\": " << frames << ",\n"
+      << "  \"jobs\": " << options.jobs << ",\n"
+      << "  \"threads_per_child\": " << options.threads_per_child << ",\n"
+      << "  \"reports\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ReportResult& r = results[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << r.name
+        << "\", \"exit_code\": " << r.exit_code << ", \"wall_seconds\": " << r.wall_seconds;
+    if (r.perf)
+      out << ", \"bench\": \"" << r.perf->bench << "\", \"cells\": " << r.perf->cells
+          << ", \"cells_per_sec\": " << r.perf->cells_per_sec
+          << ", \"threads\": " << r.perf->threads;
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  if (!out.good())
+    std::fprintf(stderr, "[driver] failed to write suite record %s\n",
+                 path.string().c_str());
+}
+
+std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& path) {
+  std::map<std::string, PerfRecord> baseline;
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().filename().string().rfind("BENCH_", 0) != 0) continue;
+      if (const auto record = parse_perf_record(entry.path()))
+        baseline[record->bench] = *record;
+    }
+    return baseline;
+  }
+  // BENCH_SUITE.json: one {...} chunk per report inside "reports": [...].
+  const std::string text = read_file(path);
+  const std::size_t reports = text.find("\"reports\"");
+  std::size_t at = reports == std::string::npos ? std::string::npos
+                                                : text.find('{', reports);
+  while (at != std::string::npos) {
+    const std::size_t close = text.find('}', at);
+    if (close == std::string::npos) break;
+    const std::string chunk = text.substr(at, close - at + 1);
+    const auto name = find_string(chunk, "name");
+    const auto wall = find_number(chunk, "wall_seconds");
+    if (name && wall) {
+      PerfRecord record;
+      record.bench = find_string(chunk, "bench").value_or(*name);
+      record.wall_seconds = *wall;
+      record.cells = find_number(chunk, "cells").value_or(0.0);
+      record.cells_per_sec = find_number(chunk, "cells_per_sec").value_or(0.0);
+      baseline[*name] = record;
+    }
+    at = text.find('{', close);
+  }
+  return baseline;
+}
+
+RegressionReport compare_against_baseline(const std::vector<ReportResult>& results,
+                                          const std::map<std::string, PerfRecord>& baseline,
+                                          double threshold) {
+  // Wall-clock growth under 50 ms absolute is jitter, not regression: at the
+  // CI 8-frame setting a whole report finishes in tens of milliseconds.
+  constexpr double kWallSlackSeconds = 0.05;
+  RegressionReport report;
+  std::map<std::string, bool> seen;
+  for (const ReportResult& r : results) {
+    if (r.exit_code != 0) continue;  // failures already fail the run itself
+    auto it = baseline.find(r.name);
+    // A baseline built from a BENCH_<name>.json dir is keyed by the perf
+    // record's internal bench name, not the binary name.
+    if (it == baseline.end() && r.perf) it = baseline.find(r.perf->bench);
+    if (it != baseline.end()) seen[it->first] = true;
+    if (it == baseline.end()) continue;  // new report: never gates
+    const PerfRecord& base = it->second;
+    RegressionDelta delta;
+    delta.name = r.name;
+    delta.base_wall = base.wall_seconds;
+    delta.wall = r.wall_seconds;
+    delta.base_rate = base.cells_per_sec;
+    delta.rate = r.perf ? r.perf->cells_per_sec : 0.0;
+    const bool wall_regressed =
+        delta.wall > delta.base_wall * (1.0 + threshold) &&
+        delta.wall - delta.base_wall > kWallSlackSeconds;
+    const bool rate_regressed = delta.base_rate > 0.0 && delta.rate > 0.0 &&
+                                delta.rate * (1.0 + threshold) < delta.base_rate &&
+                                (delta.base_rate - delta.rate) * delta.base_wall >
+                                    kWallSlackSeconds * delta.base_rate;
+    delta.regressed = wall_regressed || rate_regressed;
+    report.failed = report.failed || delta.regressed;
+    report.deltas.push_back(delta);
+  }
+  for (const auto& [name, record] : baseline)
+    if (!seen.count(name)) report.missing.push_back(name);
+  return report;
+}
+
+std::string render_regression_table(const RegressionReport& report) {
+  TextTable table({"report", "base wall", "wall", "delta", "base c/s", "c/s", "verdict"});
+  for (const RegressionDelta& d : report.deltas) {
+    const double pct =
+        d.base_wall > 0.0 ? (d.wall / d.base_wall - 1.0) * 100.0 : 0.0;
+    table.add(d.name, format_fixed(d.base_wall, 3), format_fixed(d.wall, 3),
+              format_fixed(pct, 1) + "%",
+              d.base_rate > 0.0 ? format_fixed(d.base_rate, 1) : "-",
+              d.rate > 0.0 ? format_fixed(d.rate, 1) : "-",
+              d.regressed ? "REGRESSED" : "ok");
+  }
+  return table.render();
+}
+
+}  // namespace rispp::bench

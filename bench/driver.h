@@ -1,0 +1,111 @@
+// The concurrent report driver behind the rispp_bench binary (tools/).
+//
+// PR 1 made each report binary fast (run-batched replay + run_sweep); this
+// layer makes the *suite* fast: it discovers the report binaries in the
+// build tree, pre-warms the shared trace cache once, fans the binaries out
+// as subprocesses across a bounded worker pool, streams every child's
+// stdout+stderr to a per-report log (so per-report output stays
+// byte-identical to a sequential run), folds the per-report
+// BENCH_<name>.json perf records into one BENCH_SUITE.json, and — given a
+// baseline — gates on perf regressions (>threshold wall-clock growth or
+// cells/sec drop per report).
+//
+// Everything here is also a library so tests can drive the pool, the JSON
+// round-trip and the gate without spawning the real (slow) report suite.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rispp::bench {
+
+/// One BENCH_<name>.json perf record as written by BenchPerfLog.
+struct PerfRecord {
+  std::string bench;
+  double wall_seconds = 0.0;
+  double cells = 0.0;
+  double cells_per_sec = 0.0;
+  double threads = 0.0;
+  double frames = 0.0;
+};
+
+/// Outcome of one report binary under the driver.
+struct ReportResult {
+  std::string name;                // binary filename
+  std::filesystem::path binary;
+  std::filesystem::path log;       // captured stdout+stderr
+  int exit_code = -1;              // 128+signal when killed by a signal
+  double wall_seconds = 0.0;       // driver-measured (includes process spawn)
+  std::optional<PerfRecord> perf;  // the child's BENCH_<name>.json, if written
+};
+
+struct DriverOptions {
+  unsigned jobs = 1;               // concurrent children
+  unsigned threads_per_child = 1;  // RISPP_THREADS each child runs with
+  std::filesystem::path out_dir;   // logs/, json/, BENCH_SUITE.json
+};
+
+/// Minimal glob matching for --filter: '*' any sequence, '?' one char.
+bool glob_match(const std::string& pattern, const std::string& name);
+
+/// Executables in `bench_dir`, sorted by name. micro_ops (the
+/// google-benchmark micro suite — not a report, and slow) is excluded;
+/// pass it explicitly to run it anyway.
+std::vector<std::filesystem::path> discover_reports(const std::filesystem::path& bench_dir);
+
+/// Parses one BENCH_<name>.json; nullopt when unreadable or not a record.
+std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path);
+
+/// Runs `binaries` across a bounded pool (options.jobs children at a time),
+/// each with RISPP_THREADS=options.threads_per_child and
+/// RISPP_BENCH_JSON_DIR=<out_dir>/json/<name>, stdout+stderr streamed to
+/// <out_dir>/logs/<name>.log. Prints one line per completed report to
+/// `status`. Results keep the input order regardless of completion order.
+std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& binaries,
+                                      const DriverOptions& options, std::ostream& status);
+
+/// Renders the end-of-run summary table (name, wall, cells/sec, exit).
+std::string render_summary_table(const std::vector<ReportResult>& results);
+
+/// Writes every result (and its perf record, when present) to `path` as the
+/// BENCH_SUITE.json the CI artifact uploads and --baseline consumes.
+void write_suite(const std::vector<ReportResult>& results, int frames,
+                 const DriverOptions& options, const std::filesystem::path& path);
+
+/// Loads a baseline keyed by report name: either a BENCH_SUITE.json file or
+/// a directory of BENCH_<name>.json records (keyed by their bench name).
+std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& path);
+
+struct RegressionDelta {
+  std::string name;
+  double base_wall = 0.0, wall = 0.0;  // seconds
+  double base_rate = 0.0, rate = 0.0;  // cells/sec (0 when not recorded)
+  bool regressed = false;
+};
+
+struct RegressionReport {
+  std::vector<RegressionDelta> deltas;
+  std::vector<std::string> missing;  // baselined reports absent from this run
+  bool failed = false;               // any delta regressed
+};
+
+/// The perf-regression gate: a report regresses when its wall-clock grew by
+/// more than `threshold` (fraction; 0.20 = the documented 20 % budget) over
+/// the baseline, or its cells/sec dropped by more than `threshold`.
+/// Absolute wall-clock growth below 50 ms is ignored — at CI's 8-frame
+/// setting whole reports finish in tens of milliseconds, where scheduler
+/// jitter swamps any real signal. Reports without a baseline entry pass
+/// (new reports must not fail the gate); baselined reports missing from the
+/// run are listed in `missing` but do not fail it either.
+RegressionReport compare_against_baseline(const std::vector<ReportResult>& results,
+                                          const std::map<std::string, PerfRecord>& baseline,
+                                          double threshold);
+
+/// Renders the per-report delta table of the gate.
+std::string render_regression_table(const RegressionReport& report);
+
+}  // namespace rispp::bench

@@ -1,0 +1,25 @@
+// Strict environment-variable parsing for the runtime knobs (RISPP_THREADS,
+// RISPP_FRAMES, ...). A typo'd value silently falling back to a default is
+// worse than no knob at all — a 140-frame run launched as RISPP_FRAMES=abc
+// wastes minutes before anyone notices — so invalid values fail loudly.
+#pragma once
+
+#include <optional>
+
+namespace rispp {
+
+/// Exit code used when an environment knob fails to parse.
+inline constexpr int kEnvParseExitCode = 2;
+
+/// Parses `text` as a base-10 integer in [min_value, max_value]. The whole
+/// string must be consumed (leading/trailing junk, empty strings and
+/// overflow all fail); returns nullopt on any failure.
+std::optional<long> parse_int_strict(const char* text, long min_value, long max_value);
+
+/// Reads the environment variable `name`: returns `fallback` when unset or
+/// empty, its value when it parses as an integer in [min_value, max_value],
+/// and otherwise prints a diagnostic naming the variable and the accepted
+/// range to stderr and exits with kEnvParseExitCode.
+long parse_env_int(const char* name, long fallback, long min_value, long max_value);
+
+}  // namespace rispp

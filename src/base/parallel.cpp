@@ -1,6 +1,6 @@
 #include "base/parallel.h"
 
-#include <cstdlib>
+#include "base/env.h"
 
 namespace rispp {
 namespace {
@@ -12,12 +12,8 @@ thread_local bool t_inside_pool_job = false;
 }  // namespace
 
 unsigned parallel_thread_count() {
-  if (const char* env = std::getenv("RISPP_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return static_cast<unsigned>(n);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return static_cast<unsigned>(parse_env_int("RISPP_THREADS", hw > 0 ? hw : 1, 1, 4096));
 }
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads > 0 ? threads : 1) {

@@ -16,8 +16,10 @@
 
 namespace rispp {
 
-/// Worker count parallel_for uses: RISPP_THREADS if set (> 0), else
-/// std::thread::hardware_concurrency() (min 1).
+/// Worker count parallel_for uses: RISPP_THREADS if set, else
+/// std::thread::hardware_concurrency() (min 1). RISPP_THREADS must be an
+/// integer >= 1 — anything else (garbage, 0, negative) is a loud error
+/// (base/env.h), not a silent fallback.
 unsigned parallel_thread_count();
 
 class ThreadPool {

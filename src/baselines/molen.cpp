@@ -18,7 +18,11 @@ MolenBackend::MolenBackend(const SpecialInstructionSet* set, std::size_t hot_spo
       hot_spot_sup_(hot_spot_count, Molecule(set->atom_type_count())),
       type_last_used_(set->atom_type_count(), 0),
       cached_latency_(set->si_count(), 0),
-      selected_molecule_(set->si_count(), kSoftwareMolecule) {}
+      selected_molecule_(set->si_count(), kSoftwareMolecule),
+      span_step_gen_(set->si_count(), 0),
+      span_step_(set->si_count(), 0),
+      span_touch_gen_(set->si_count(), 0),
+      span_last_start_(set->si_count(), 0) {}
 
 void MolenBackend::seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected) {
   monitor_.seed(hs, si, expected);
@@ -157,6 +161,68 @@ Cycles MolenBackend::si_execution_run_latency(SiId si, std::uint64_t count, Cycl
     count -= fit;
   }
   return total;
+}
+
+Cycles MolenBackend::si_execution_span(std::span<const SiRun> runs, Cycles now,
+                                       Cycles per_execution_overhead) {
+  // Same port-quiet-window arithmetic as the RISPP RTM (see
+  // RunTimeManager::si_execution_span): between two reconfiguration-port
+  // completions every SI's latency is fixed, so a whole window replays with
+  // one step lookup, one monitor bulk-add and one clock advance per run. LRU
+  // stamps are materialized once per window. Bit-exact with scalar replay.
+  std::size_t i = 0;
+  std::uint64_t remaining = 0;  // rest of runs[i] when a window split it
+  while (i < runs.size()) {
+    advance_reconfig(now);
+    if (!cache_valid_) refresh_cache();
+    const bool bounded = port_.busy();
+    const Cycles window_end = bounded ? port_.inflight()->finishes_at : 0;
+    ++span_gen_;
+    span_touched_.clear();
+
+    while (i < runs.size()) {
+      if (bounded && now >= window_end) break;  // next execution sees the load
+      const SiId si = runs[i].si;
+      const std::uint64_t count = remaining > 0 ? remaining : runs[i].count;
+      if (span_step_gen_[si] != span_gen_) {
+        span_step_gen_[si] = span_gen_;
+        span_step_[si] = cached_latency_[si] + per_execution_overhead;
+      }
+      const Cycles step = span_step_[si];
+      std::uint64_t fit = count;
+      if (bounded && step > 0)
+        fit = std::min<std::uint64_t>(count, (window_end - now + step - 1) / step);
+      if (fit > 0) {
+        monitor_.record_executions(si, fit);
+        if (selected_molecule_[si] != kSoftwareMolecule &&
+            cached_latency_[si] != set_->si(si).software_latency) {
+          span_last_start_[si] = now + (fit - 1) * step;
+          if (span_touch_gen_[si] != span_gen_) {
+            span_touch_gen_[si] = span_gen_;
+            span_touched_.push_back(si);
+          }
+        }
+        now += fit * step;
+      }
+      if (fit == count) {
+        ++i;
+        remaining = 0;
+      } else {
+        remaining = count - fit;
+        break;  // window exhausted; reopen at the port completion
+      }
+    }
+
+    // Materialize the LRU stamps while the window's molecules are still
+    // selected (the next advance_reconfig may refresh the cache).
+    for (const SiId si : span_touched_) {
+      const Cycles last = span_last_start_[si];
+      const Molecule& atoms = set_->si(si).molecule(selected_molecule_[si]).atoms;
+      for (std::size_t t = 0; t < atoms.dimension(); ++t)
+        if (atoms[t] != 0 && type_last_used_[t] < last) type_last_used_[t] = last;
+    }
+  }
+  return now;
 }
 
 }  // namespace rispp

@@ -43,6 +43,8 @@ class MolenBackend final : public ExecutionBackend {
   Cycles si_execution_run_latency(SiId si, std::uint64_t count, Cycles now,
                                   Cycles per_execution_overhead,
                                   std::vector<LatencySegment>& segments) override;
+  Cycles si_execution_span(std::span<const SiRun> runs, Cycles now,
+                           Cycles per_execution_overhead) override;
   std::uint64_t completed_loads() const override { return port_.completed_loads(); }
 
   const std::vector<SiRef>& current_selection() const { return selection_; }
@@ -70,6 +72,15 @@ class MolenBackend final : public ExecutionBackend {
   std::vector<Cycles> cached_latency_;
   std::vector<MoleculeId> selected_molecule_;  // per SiId, kSoftwareMolecule if none
   bool cache_valid_ = false;
+
+  // Scratch for si_execution_span's port-quiet windows (per SiId, validated
+  // against span_gen_ so windows open without O(si_count) clears).
+  std::uint64_t span_gen_ = 0;
+  std::vector<std::uint64_t> span_step_gen_;   // step cache validity
+  std::vector<Cycles> span_step_;              // latency + overhead this window
+  std::vector<std::uint64_t> span_touch_gen_;  // "stamped this window" marker
+  std::vector<Cycles> span_last_start_;        // last execution start this window
+  std::vector<SiId> span_touched_;             // SIs to LRU-stamp at window close
 };
 
 }  // namespace rispp

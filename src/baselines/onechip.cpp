@@ -16,7 +16,11 @@ OneChipBackend::OneChipBackend(const SpecialInstructionSet* set, std::size_t hot
       requested_(set->si_count(), false),
       selected_molecule_(set->si_count(), kSoftwareMolecule),
       type_last_used_(set->atom_type_count(), 0),
-      cached_latency_(set->si_count(), 0) {}
+      cached_latency_(set->si_count(), 0),
+      span_step_gen_(set->si_count(), 0),
+      span_step_(set->si_count(), 0),
+      span_touch_gen_(set->si_count(), 0),
+      span_last_start_(set->si_count(), 0) {}
 
 void OneChipBackend::seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected) {
   monitor_.seed(hs, si, expected);
@@ -147,6 +151,76 @@ Cycles OneChipBackend::si_execution_run_latency(SiId si, std::uint64_t count, Cy
     count -= fit;
   }
   return total;
+}
+
+Cycles OneChipBackend::si_execution_span(std::span<const SiRun> runs, Cycles now,
+                                         Cycles per_execution_overhead) {
+  // Port-quiet-window arithmetic as in RunTimeManager::si_execution_span,
+  // plus OneChip's demand loading: scalar replay issues the configuration
+  // request at an SI's *first* execution, so a window closes whenever the
+  // next run's SI has not been requested yet — the reopen sequence below
+  // fires the request at exactly that execution's time, after the preceding
+  // executions' LRU stamps have been materialized (the victim search the
+  // request may trigger must observe them). Bit-exact with scalar replay.
+  std::size_t i = 0;
+  std::uint64_t remaining = 0;  // rest of runs[i] when a window split it
+  while (i < runs.size()) {
+    advance_reconfig(now);
+    request_configuration(runs[i].si);  // idempotent for already-requested SIs
+    start_pending_loads(now);
+    if (!cache_valid_) refresh_cache();
+    const bool bounded = port_.busy();
+    const Cycles window_end = bounded ? port_.inflight()->finishes_at : 0;
+    ++span_gen_;
+    span_touched_.clear();
+
+    while (i < runs.size()) {
+      if (bounded && now >= window_end) break;  // next execution sees the load
+      const SiId si = runs[i].si;
+      // A not-yet-requested SI fires its demand request at its first
+      // execution: reopen the window there.
+      if (remaining == 0 && !requested_[si] &&
+          selected_molecule_[si] != kSoftwareMolecule)
+        break;
+      const std::uint64_t count = remaining > 0 ? remaining : runs[i].count;
+      if (span_step_gen_[si] != span_gen_) {
+        span_step_gen_[si] = span_gen_;
+        span_step_[si] = cached_latency_[si] + per_execution_overhead;
+      }
+      const Cycles step = span_step_[si];
+      std::uint64_t fit = count;
+      if (bounded && step > 0)
+        fit = std::min<std::uint64_t>(count, (window_end - now + step - 1) / step);
+      if (fit > 0) {
+        monitor_.record_executions(si, fit);
+        if (cached_latency_[si] != set_->si(si).software_latency) {
+          span_last_start_[si] = now + (fit - 1) * step;
+          if (span_touch_gen_[si] != span_gen_) {
+            span_touch_gen_[si] = span_gen_;
+            span_touched_.push_back(si);
+          }
+        }
+        now += fit * step;
+      }
+      if (fit == count) {
+        ++i;
+        remaining = 0;
+      } else {
+        remaining = count - fit;
+        break;  // window exhausted; reopen at the port completion
+      }
+    }
+
+    // Materialize the LRU stamps while the window's molecules are still
+    // selected (the next advance_reconfig may refresh the cache).
+    for (const SiId si : span_touched_) {
+      const Cycles last = span_last_start_[si];
+      const Molecule& atoms = set_->si(si).molecule(selected_molecule_[si]).atoms;
+      for (std::size_t t = 0; t < atoms.dimension(); ++t)
+        if (atoms[t] != 0 && type_last_used_[t] < last) type_last_used_[t] = last;
+    }
+  }
+  return now;
 }
 
 }  // namespace rispp

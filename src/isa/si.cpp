@@ -130,4 +130,48 @@ Cycles SpecialInstructionSet::fastest_available_latency(SiId id, const Molecule&
   return si(id).latency(fastest_available(id, available));
 }
 
+std::uint64_t fingerprint_mix(std::uint64_t hash, std::uint64_t value) {
+  // FNV-1a over the value's 8 bytes.
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xff;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+std::uint64_t mix_string(std::uint64_t hash, const std::string& s) {
+  hash = fingerprint_mix(hash, s.size());
+  for (const char c : s) hash = fingerprint_mix(hash, static_cast<unsigned char>(c));
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const SpecialInstructionSet& set) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  const AtomLibrary& library = set.library();
+  hash = fingerprint_mix(hash, library.size());
+  for (AtomTypeId t = 0; t < library.size(); ++t) {
+    const AtomType& type = library.type(t);
+    hash = mix_string(hash, type.name);
+    hash = fingerprint_mix(hash, type.op_latency);
+    hash = fingerprint_mix(hash, type.sw_op_cycles);
+    hash = fingerprint_mix(hash, type.slices);
+  }
+  hash = fingerprint_mix(hash, set.si_count());
+  for (SiId id = 0; id < set.si_count(); ++id) {
+    const SpecialInstruction& si = set.si(id);
+    hash = mix_string(hash, si.name);
+    hash = fingerprint_mix(hash, si.software_latency);
+    hash = fingerprint_mix(hash, si.molecules.size());
+    for (const MoleculeImpl& m : si.molecules) {
+      hash = fingerprint_mix(hash, m.latency);
+      for (const AtomCount count : m.atoms.counts()) hash = fingerprint_mix(hash, count);
+    }
+  }
+  return hash;
+}
+
 }  // namespace rispp

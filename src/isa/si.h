@@ -84,4 +84,16 @@ class SpecialInstructionSet {
   std::vector<SpecialInstruction> sis_;
 };
 
+/// Order-sensitive 64-bit digest of the set's observable contents: atom
+/// types (name, latencies, slices), SI names, molecule tables (atom vectors
+/// + latencies) and software latencies. Any change that could alter a
+/// recorded workload trace changes the fingerprint — cache keys (e.g. the
+/// bench trace cache) mix it in so a stale trace is never replayed against
+/// an edited library.
+std::uint64_t fingerprint(const SpecialInstructionSet& set);
+
+/// FNV-1a accumulator the fingerprint is built from; exposed so callers can
+/// keep mixing workload-config fields into the same digest.
+std::uint64_t fingerprint_mix(std::uint64_t hash, std::uint64_t value);
+
 }  // namespace rispp

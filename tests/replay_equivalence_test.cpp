@@ -3,6 +3,11 @@
 // every backend the repo ships. The batched path may only change simulator
 // wall-clock, never a simulated number: total cycles, per-hot-spot cycles,
 // load counts, stats buckets and latency timelines must all match.
+//
+// Two workloads: the H.264 CIF encode (the paper's evaluation run) and the
+// JPEG stream — the latter exercises different SI shapes, data-dependent EC
+// run lengths and a different hot-spot cadence, so a fast path that
+// overfits H.264's structure cannot pass.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,6 +20,8 @@
 #include "baselines/static_asip.h"
 #include "h264/workload.h"
 #include "isa/h264_si_library.h"
+#include "jpeg/jpeg_si_library.h"
+#include "jpeg/jpeg_workload.h"
 #include "rtm/run_time_manager.h"
 #include "sched/registry.h"
 #include "sim/executor.h"
@@ -30,8 +37,16 @@ class ReplayEquivalenceFixture : public ::testing::Test {
     h264::WorkloadConfig config;
     config.frames = kFrames;
     trace_ = new WorkloadTrace(h264::generate_h264_workload(*set_, config).trace);
+
+    jpeg_set_ = new SpecialInstructionSet(jpegsis::build_jpeg_si_set());
+    jpeg::JpegWorkloadConfig jpeg_config;
+    jpeg_config.images = kJpegImages;
+    jpeg_trace_ = new WorkloadTrace(
+        jpeg::generate_jpeg_workload(*jpeg_set_, jpeg_config).trace);
   }
   static void TearDownTestSuite() {
+    delete jpeg_trace_;
+    delete jpeg_set_;
     delete trace_;
     delete set_;
   }
@@ -41,22 +56,24 @@ class ReplayEquivalenceFixture : public ::testing::Test {
     std::uint64_t loads = 0;
   };
 
-  // Runs the trace twice with `make_backend` producing a fresh backend each
+  // Runs `trace` twice with `make_backend` producing a fresh backend each
   // time, and asserts the batched replay matches the scalar one exactly —
   // including the per-bucket stats and latency timelines.
   template <typename MakeBackend>
-  static void expect_equivalent(MakeBackend&& make_backend, const std::string& label) {
+  static void expect_equivalent(const SpecialInstructionSet& set,
+                                const WorkloadTrace& trace, MakeBackend&& make_backend,
+                                const std::string& label) {
     SCOPED_TRACE(label);
-    SimStats scalar_stats(set_->si_count()), batched_stats(set_->si_count());
+    SimStats scalar_stats(set.si_count()), batched_stats(set.si_count());
     Observed scalar, batched;
     {
       auto backend = make_backend();
-      scalar.result = run_trace(*trace_, *backend, &scalar_stats, ReplayMode::kScalar);
+      scalar.result = run_trace(trace, *backend, &scalar_stats, ReplayMode::kScalar);
       scalar.loads = backend->completed_loads();
     }
     {
       auto backend = make_backend();
-      batched.result = run_trace(*trace_, *backend, &batched_stats, ReplayMode::kBatched);
+      batched.result = run_trace(trace, *backend, &batched_stats, ReplayMode::kBatched);
       batched.loads = backend->completed_loads();
     }
     EXPECT_EQ(scalar.result.total_cycles, batched.result.total_cycles);
@@ -66,7 +83,7 @@ class ReplayEquivalenceFixture : public ::testing::Test {
     EXPECT_EQ(scalar.loads, batched.loads);
 
     ASSERT_EQ(scalar_stats.bucket_count(), batched_stats.bucket_count());
-    for (SiId si = 0; si < set_->si_count(); ++si) {
+    for (SiId si = 0; si < set.si_count(); ++si) {
       EXPECT_EQ(scalar_stats.executions(si), batched_stats.executions(si)) << "si " << si;
       for (std::size_t b = 0; b < scalar_stats.bucket_count(); ++b)
         ASSERT_EQ(scalar_stats.bucket_executions(si, b),
@@ -83,7 +100,7 @@ class ReplayEquivalenceFixture : public ::testing::Test {
 
     // The stats-free span fast path must agree with the stats path too.
     auto backend = make_backend();
-    const SimResult span = run_trace(*trace_, *backend, nullptr, ReplayMode::kBatched);
+    const SimResult span = run_trace(trace, *backend, nullptr, ReplayMode::kBatched);
     EXPECT_EQ(scalar.result.total_cycles, span.total_cycles);
     EXPECT_EQ(scalar.result.si_executions, span.si_executions);
     EXPECT_EQ(scalar.result.atom_loads, span.atom_loads);
@@ -91,12 +108,17 @@ class ReplayEquivalenceFixture : public ::testing::Test {
   }
 
   static constexpr int kFrames = 8;
+  static constexpr int kJpegImages = 6;
   static SpecialInstructionSet* set_;
   static WorkloadTrace* trace_;
+  static SpecialInstructionSet* jpeg_set_;
+  static WorkloadTrace* jpeg_trace_;
 };
 
 SpecialInstructionSet* ReplayEquivalenceFixture::set_ = nullptr;
 WorkloadTrace* ReplayEquivalenceFixture::trace_ = nullptr;
+SpecialInstructionSet* ReplayEquivalenceFixture::jpeg_set_ = nullptr;
+WorkloadTrace* ReplayEquivalenceFixture::jpeg_trace_ = nullptr;
 
 struct RtmHolder {
   std::unique_ptr<AtomScheduler> scheduler;
@@ -109,6 +131,7 @@ TEST_F(ReplayEquivalenceFixture, RtmAllSchedulersAllBudgets) {
   for (const auto& name : scheduler_names()) {
     for (const unsigned acs : {6u, 10u, 17u, 24u}) {
       expect_equivalent(
+          *set_, *trace_,
           [&] {
             auto holder = std::make_unique<RtmHolder>();
             holder->scheduler = make_scheduler(name);
@@ -127,6 +150,7 @@ TEST_F(ReplayEquivalenceFixture, RtmAllSchedulersAllBudgets) {
 
 TEST_F(ReplayEquivalenceFixture, RtmWithPrefetchEnabled) {
   expect_equivalent(
+      *set_, *trace_,
       [&] {
         auto holder = std::make_unique<RtmHolder>();
         holder->scheduler = make_scheduler("HEF");
@@ -144,6 +168,7 @@ TEST_F(ReplayEquivalenceFixture, RtmWithPrefetchEnabled) {
 
 TEST_F(ReplayEquivalenceFixture, RtmOracleForecastAndPaybackDisabled) {
   expect_equivalent(
+      *set_, *trace_,
       [&] {
         auto holder = std::make_unique<RtmHolder>();
         holder->scheduler = make_scheduler("ASF");
@@ -163,6 +188,7 @@ TEST_F(ReplayEquivalenceFixture, RtmOracleForecastAndPaybackDisabled) {
 TEST_F(ReplayEquivalenceFixture, MolenBaseline) {
   for (const unsigned acs : {6u, 10u, 17u, 24u}) {
     expect_equivalent(
+        *set_, *trace_,
         [&] {
           MolenConfig config;
           config.container_count = acs;
@@ -178,6 +204,7 @@ TEST_F(ReplayEquivalenceFixture, MolenBaseline) {
 TEST_F(ReplayEquivalenceFixture, OneChipBaseline) {
   for (const unsigned acs : {6u, 10u, 17u, 24u}) {
     expect_equivalent(
+        *set_, *trace_,
         [&] {
           OneChipConfig config;
           config.container_count = acs;
@@ -191,13 +218,82 @@ TEST_F(ReplayEquivalenceFixture, OneChipBaseline) {
 }
 
 TEST_F(ReplayEquivalenceFixture, SoftwareOnlyBaseline) {
-  expect_equivalent([&] { return std::make_unique<SoftwareOnlyBackend>(set_); },
+  expect_equivalent(*set_, *trace_,
+                    [&] { return std::make_unique<SoftwareOnlyBackend>(set_); },
                     "SoftwareOnly");
 }
 
 TEST_F(ReplayEquivalenceFixture, StaticAsipBaseline) {
-  expect_equivalent([&] { return std::make_unique<StaticAsipBackend>(set_); },
+  expect_equivalent(*set_, *trace_,
+                    [&] { return std::make_unique<StaticAsipBackend>(set_); },
                     "StaticASIP");
+}
+
+// --- the JPEG workload: same matrix, different SI shapes -------------------
+
+TEST_F(ReplayEquivalenceFixture, JpegRtmAllSchedulersAllBudgets) {
+  for (const auto& name : scheduler_names()) {
+    for (const unsigned acs : {4u, 8u, 14u}) {
+      expect_equivalent(
+          *jpeg_set_, *jpeg_trace_,
+          [&] {
+            auto holder = std::make_unique<RtmHolder>();
+            holder->scheduler = make_scheduler(name);
+            RtmConfig config;
+            config.container_count = acs;
+            config.scheduler = holder->scheduler.get();
+            holder->rtm = std::make_unique<RunTimeManager>(
+                jpeg_set_, jpeg_trace_->hot_spots.size(), config);
+            jpeg::seed_jpeg_forecasts(*jpeg_set_, *holder->rtm);
+            return holder;
+          },
+          "jpeg:" + name + "@" + std::to_string(acs));
+    }
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, JpegMolenBaseline) {
+  for (const unsigned acs : {4u, 8u, 14u}) {
+    expect_equivalent(
+        *jpeg_set_, *jpeg_trace_,
+        [&] {
+          MolenConfig config;
+          config.container_count = acs;
+          auto molen = std::make_unique<MolenBackend>(
+              jpeg_set_, jpeg_trace_->hot_spots.size(), config);
+          jpeg::seed_jpeg_forecasts(*jpeg_set_, *molen);
+          return molen;
+        },
+        "jpeg:Molen@" + std::to_string(acs));
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, JpegOneChipBaseline) {
+  for (const unsigned acs : {4u, 8u, 14u}) {
+    expect_equivalent(
+        *jpeg_set_, *jpeg_trace_,
+        [&] {
+          OneChipConfig config;
+          config.container_count = acs;
+          auto onechip = std::make_unique<OneChipBackend>(
+              jpeg_set_, jpeg_trace_->hot_spots.size(), config);
+          jpeg::seed_jpeg_forecasts(*jpeg_set_, *onechip);
+          return onechip;
+        },
+        "jpeg:OneChip@" + std::to_string(acs));
+  }
+}
+
+TEST_F(ReplayEquivalenceFixture, JpegSoftwareOnlyBaseline) {
+  expect_equivalent(*jpeg_set_, *jpeg_trace_,
+                    [&] { return std::make_unique<SoftwareOnlyBackend>(jpeg_set_); },
+                    "jpeg:SoftwareOnly");
+}
+
+TEST_F(ReplayEquivalenceFixture, JpegStaticAsipBaseline) {
+  expect_equivalent(*jpeg_set_, *jpeg_trace_,
+                    [&] { return std::make_unique<StaticAsipBackend>(jpeg_set_); },
+                    "jpeg:StaticASIP");
 }
 
 // The RLE run form must cover exactly the execution sequence it encodes.

@@ -1,0 +1,174 @@
+// rispp_bench — run the full report suite concurrently.
+//
+//   rispp_bench                         # discover build/bench/*, all cores
+//   rispp_bench --jobs 4 --frames 8     # quick pass, 4 reports at a time
+//   rispp_bench --filter 'fig*'         # only the figure reports
+//   rispp_bench --baseline ci/bench_baseline.json   # perf-regression gate
+//
+// Each report's stdout+stderr goes to <out>/logs/<name>.log (byte-identical
+// to a sequential run — children never share a stream); per-report
+// BENCH_<name>.json records are folded into <out>/BENCH_SUITE.json. With
+// --baseline the driver exits non-zero when any report got >20 % slower
+// (wall-clock or cells/sec) than the baseline suite.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/env.h"
+#include "base/parallel.h"
+#include "bench/common.h"
+#include "bench/driver.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [report-binary...]\n"
+               "  --bench-dir <dir>   report discovery dir (default: <exe>/../bench)\n"
+               "  --filter <glob>     only reports whose name matches (* and ?)\n"
+               "  --jobs <n>          concurrent reports (default: thread count)\n"
+               "  --frames <n>        RISPP_FRAMES for every report (default: 140)\n"
+               "  --out <dir>         logs + BENCH_SUITE.json (default: bench-out)\n"
+               "  --baseline <path>   BENCH_SUITE.json or dir of BENCH_*.json;\n"
+               "                      exit non-zero on >threshold slowdown\n"
+               "  --threshold <pct>   regression budget in percent (default: 20)\n"
+               "  --no-warm           skip the trace-cache pre-warm\n"
+               "  --list              print the discovered reports and exit\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rispp;
+  namespace fs = std::filesystem;
+
+  fs::path bench_dir;
+  fs::path out_dir = "bench-out";
+  fs::path baseline_path;
+  std::string filter;
+  std::vector<fs::path> explicit_binaries;
+  unsigned jobs = 0;
+  double threshold = 0.20;
+  bool warm = true, list_only = false;
+
+  const auto next_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-dir") bench_dir = next_arg(i, "--bench-dir");
+    else if (arg == "--filter") filter = next_arg(i, "--filter");
+    else if (arg == "--jobs") {
+      const auto n = parse_int_strict(next_arg(i, "--jobs"), 1, 4096);
+      if (!n) { std::fprintf(stderr, "--jobs: not a positive integer\n"); return 2; }
+      jobs = static_cast<unsigned>(*n);
+    } else if (arg == "--frames") {
+      const auto n = parse_int_strict(next_arg(i, "--frames"), 1, 1'000'000);
+      if (!n) { std::fprintf(stderr, "--frames: not a positive integer\n"); return 2; }
+      // Children inherit the environment; bench_frames() in this process
+      // (pre-warm, suite record) reads the same value.
+      ::setenv("RISPP_FRAMES", std::to_string(*n).c_str(), 1);
+    } else if (arg == "--out") out_dir = next_arg(i, "--out");
+    else if (arg == "--baseline") baseline_path = next_arg(i, "--baseline");
+    else if (arg == "--threshold") {
+      const auto n = parse_int_strict(next_arg(i, "--threshold"), 1, 1000);
+      if (!n) { std::fprintf(stderr, "--threshold: not a percentage\n"); return 2; }
+      threshold = static_cast<double>(*n) / 100.0;
+    } else if (arg == "--no-warm") warm = false;
+    else if (arg == "--list") list_only = true;
+    else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else explicit_binaries.emplace_back(arg);
+  }
+
+  std::vector<fs::path> binaries = explicit_binaries;
+  if (binaries.empty()) {
+    if (bench_dir.empty()) {
+      // The build tree keeps tools/ and bench/ side by side.
+      std::error_code ec;
+      const fs::path self = fs::canonical(fs::path(argv[0]), ec);
+      bench_dir = (ec ? fs::path(argv[0]) : self).parent_path().parent_path() / "bench";
+    }
+    binaries = bench::discover_reports(bench_dir);
+    if (binaries.empty()) {
+      std::fprintf(stderr, "no report binaries found in %s\n", bench_dir.string().c_str());
+      return 2;
+    }
+  }
+  if (!filter.empty())
+    std::erase_if(binaries, [&](const fs::path& p) {
+      return !bench::glob_match(filter, p.filename().string());
+    });
+  if (list_only) {
+    for (const auto& b : binaries) std::printf("%s\n", b.filename().string().c_str());
+    return 0;
+  }
+  if (binaries.empty()) {
+    std::fprintf(stderr, "filter matched no reports\n");
+    return 2;
+  }
+
+  const unsigned total_threads = parallel_thread_count();
+  bench::DriverOptions options;
+  options.jobs = jobs > 0 ? jobs : total_threads;
+  options.jobs = std::min<unsigned>(options.jobs, binaries.size());
+  // Divide the host's threads among concurrent children: jobs * per-child
+  // never oversubscribes what RISPP_THREADS / the core count granted.
+  options.threads_per_child = std::max(1u, total_threads / options.jobs);
+  options.out_dir = out_dir;
+
+  const int frames = bench::bench_frames();
+  std::printf("rispp_bench: %zu reports, %u at a time, %u thread(s) each, %d frames\n",
+              binaries.size(), options.jobs, options.threads_per_child, frames);
+  if (warm) {
+    // One shared cache fill instead of every child racing to encode.
+    bench::warm_trace_cache();
+  }
+
+  const auto results = bench::run_reports(binaries, options, std::cout);
+  std::printf("\n%s\n", bench::render_summary_table(results).c_str());
+  bench::write_suite(results, frames, options, out_dir / "BENCH_SUITE.json");
+  std::printf("suite record: %s\n", (out_dir / "BENCH_SUITE.json").string().c_str());
+
+  int exit_code = 0;
+  for (const auto& r : results)
+    if (r.exit_code != 0) {
+      std::fprintf(stderr, "%s failed (exit %d), log: %s\n", r.name.c_str(), r.exit_code,
+                   r.log.string().c_str());
+      exit_code = 1;
+    }
+
+  if (!baseline_path.empty()) {
+    const auto baseline = bench::load_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "baseline %s is empty or unreadable\n",
+                   baseline_path.string().c_str());
+      return 2;
+    }
+    const auto gate = bench::compare_against_baseline(results, baseline, threshold);
+    std::printf("\nregression gate vs %s (budget %.0f%%):\n%s\n",
+                baseline_path.string().c_str(), threshold * 100.0,
+                bench::render_regression_table(gate).c_str());
+    for (const auto& name : gate.missing)
+      std::printf("note: baselined report %s did not run\n", name.c_str());
+    if (gate.failed) {
+      std::fprintf(stderr, "perf regression gate FAILED\n");
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
