@@ -121,6 +121,12 @@ std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path) {
   return parse_perf_text(read_file(path));
 }
 
+unsigned compute_child_threads(unsigned total_threads, unsigned jobs, std::size_t unfinished) {
+  const std::size_t lanes =
+      std::max<std::size_t>(1, std::min<std::size_t>(std::max(1u, jobs), unfinished));
+  return std::max<unsigned>(1, std::max(1u, total_threads) / static_cast<unsigned>(lanes));
+}
+
 std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& binaries,
                                       const DriverOptions& options, std::ostream& status) {
   using Clock = std::chrono::steady_clock;
@@ -133,9 +139,15 @@ std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& 
   std::vector<Clock::time_point> started(binaries.size());
   std::map<pid_t, std::size_t> running;
   std::size_t next = 0, done = 0;
-  const std::string threads = std::to_string(options.threads_per_child);
 
   const auto launch = [&](std::size_t i) {
+    // Work-stealing thread split: children launched after other reports
+    // already finished inherit the finishers' share of the host's threads
+    // instead of the static total/jobs division.
+    const std::string threads = std::to_string(
+        options.total_threads > 0
+            ? compute_child_threads(options.total_threads, options.jobs, binaries.size() - done)
+            : options.threads_per_child);
     ReportResult& r = results[i];
     r.binary = binaries[i];
     r.name = binaries[i].filename().string();

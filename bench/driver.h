@@ -45,9 +45,20 @@ struct ReportResult {
 
 struct DriverOptions {
   unsigned jobs = 1;               // concurrent children
-  unsigned threads_per_child = 1;  // RISPP_THREADS each child runs with
+  unsigned threads_per_child = 1;  // static RISPP_THREADS share (total_threads == 0)
+  /// When > 0, each child's RISPP_THREADS is computed at launch time by
+  /// compute_child_threads() — children launched after others finished get
+  /// the finishers' share instead of the static total/jobs split.
+  unsigned total_threads = 0;
   std::filesystem::path out_dir;   // logs/, json/, BENCH_SUITE.json
 };
+
+/// The thread share of a child launched while `unfinished` reports (queued +
+/// running, including this one) remain: total_threads divided by how many
+/// children can actually run side by side from here on. Early launches get
+/// the static total/jobs split; stragglers launched late inherit the
+/// finished reports' threads.
+unsigned compute_child_threads(unsigned total_threads, unsigned jobs, std::size_t unfinished);
 
 /// Minimal glob matching for --filter: '*' any sequence, '?' one char.
 bool glob_match(const std::string& pattern, const std::string& name);

@@ -9,6 +9,7 @@
 #include "bench/common.h"
 #include "dpg/enumerate.h"
 #include "dpg/list_scheduler.h"
+#include "h264/interpolate.h"
 #include "h264/kernels.h"
 #include "h264/synthetic_video.h"
 #include "h264/transform.h"
@@ -159,6 +160,111 @@ void BM_Dct4x4RoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dct4x4RoundTrip);
+
+// Scalar vs SIMD kernel backends (the pinned variants, bypassing dispatch).
+// The items/sec ratio of Arg(0) to Arg(1) is the per-kernel speedup the
+// cold trace-generation path gets from the vector backend.
+
+h264::Plane random_plane(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  h264::Plane p(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) p.at(x, y) = static_cast<h264::Pixel>(rng.bounded(256));
+  return p;
+}
+
+void BM_Sad16x16Backend(benchmark::State& state) {
+  const h264::Plane a = random_plane(11), b = random_plane(12);
+  const bool simd = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simd ? h264::sad_16x16_simd(a, 16, 16, b, 17, 15)
+                                  : h264::sad_16x16_scalar(a, 16, 16, b, 17, 15));
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_Sad16x16Backend)->Arg(0)->Arg(1);
+
+void BM_Satd16x16Backend(benchmark::State& state) {
+  const h264::Plane a = random_plane(13), b = random_plane(14);
+  const bool simd = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simd ? h264::satd_16x16_simd(a, 16, 16, b, 17, 15)
+                                  : h264::satd_16x16_scalar(a, 16, 16, b, 17, 15));
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_Satd16x16Backend)->Arg(0)->Arg(1);
+
+void BM_Satd16x16PredBackend(benchmark::State& state) {
+  const h264::Plane a = random_plane(15);
+  h264::Pixel pred[16 * 16];
+  Xoshiro256 rng(16);
+  for (auto& p : pred) p = static_cast<h264::Pixel>(rng.bounded(256));
+  const bool simd = state.range(0) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simd ? h264::satd_16x16_pred_simd(a, 16, 16, pred)
+                                  : h264::satd_16x16_pred_scalar(a, 16, 16, pred));
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_Satd16x16PredBackend)->Arg(0)->Arg(1);
+
+void BM_MotionCompensateHalfPel(benchmark::State& state) {
+  const h264::Plane ref = random_plane(17);
+  h264::Pixel dst[16 * 16];
+  // Diagonal half-pel at an interior MB: the most expensive position (h+v
+  // 6-tap), fully inside the SIMD fast-path footprint.
+  const h264::MotionVector mv{3, 5};
+  const bool simd = state.range(0) != 0;
+  for (auto _ : state) {
+    if (simd) h264::motion_compensate_16x16_simd(ref, 16, 16, mv, dst);
+    else h264::motion_compensate_16x16_scalar(ref, 16, 16, mv, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_MotionCompensateHalfPel)->Arg(0)->Arg(1);
+
+void BM_Dct4x4Backend(benchmark::State& state) {
+  int in[16], coeff[16], out[16];
+  for (int i = 0; i < 16; ++i) in[i] = (i * 37) % 255 - 128;
+  const bool simd = state.range(0) != 0;
+  for (auto _ : state) {
+    if (simd) {
+      h264::dct4x4_simd(in, coeff);
+      h264::idct4x4_simd(coeff, out);
+    } else {
+      h264::dct4x4_scalar(in, coeff);
+      h264::idct4x4_scalar(coeff, out);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_Dct4x4Backend)->Arg(0)->Arg(1);
+
+// Work-stealing throughput on deliberately uneven tasks: index i costs
+// O((i % 32)^2), so round-robin chunk dealing leaves some deques heavy and
+// the light owners must steal to keep busy. items/sec at N threads vs 1
+// thread shows the pool's load-balancing efficiency.
+void BM_PoolStealUneven(benchmark::State& state) {
+  constexpr std::size_t kTasks = 512;
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<std::uint64_t> out(kTasks);
+  for (auto _ : state) {
+    pool.parallel_for(kTasks, [&](std::size_t i) {
+      const std::uint64_t reps = (i % 32) * (i % 32) * 8 + 1;
+      std::uint64_t acc = i;
+      for (std::uint64_t r = 0; r < reps; ++r) acc = acc * 6364136223846793005ULL + 1;
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTasks);
+  state.SetLabel(std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_PoolStealUneven)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(parallel_thread_count()))
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SyntheticFrame(benchmark::State& state) {
   h264::VideoConfig config;

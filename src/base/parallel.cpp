@@ -1,5 +1,7 @@
 #include "base/parallel.h"
 
+#include <algorithm>
+
 #include "base/env.h"
 
 namespace rispp {
@@ -16,11 +18,11 @@ unsigned parallel_thread_count() {
   return static_cast<unsigned>(parse_env_int("RISPP_THREADS", hw > 0 ? hw : 1, 1, 4096));
 }
 
-ThreadPool::ThreadPool(unsigned threads) : threads_(threads > 0 ? threads : 1) {
-  // The caller participates in every job, so spawn one fewer worker.
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads > 0 ? threads : 1), slots_(threads_) {
+  // The caller participates in every job (slot 0), so spawn one fewer worker.
   workers_.reserve(threads_ - 1);
   for (unsigned i = 1; i < threads_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,7 +38,8 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (n == 0) return;
   if (threads_ <= 1 || n == 1 || t_inside_pool_job) {
     // Serial fallback with the same semantics as the pooled path: every
-    // index runs, the lowest-index exception is rethrown.
+    // index runs in increasing order, the lowest-index exception is
+    // rethrown.
     std::exception_ptr error;
     for (std::size_t i = 0; i < n; ++i) {
       try {
@@ -49,6 +52,23 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     return;
   }
 
+  // Pre-split [0, n) and deal chunks round-robin in increasing order: slot s
+  // owns chunks s, s+threads, ... — each deque is ordered, and fronts across
+  // slots 0..threads-1 hold the globally smallest pending chunks.
+  const std::size_t chunk_size =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(threads_) * 8));
+  std::size_t begin = 0;
+  unsigned slot = 0;
+  while (begin < n) {
+    const std::size_t end = std::min(n, begin + chunk_size);
+    {
+      std::lock_guard<std::mutex> lock(slots_[slot].mutex);
+      slots_[slot].chunks.push_back(Chunk{begin, end});
+    }
+    begin = end;
+    slot = (slot + 1) % threads_;
+  }
+
   Job job;
   job.fn = &fn;
   job.n = n;
@@ -58,7 +78,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     ++generation_;
   }
   work_cv_.notify_all();
-  run_indices(job);
+  run_chunks(job, /*slot=*/0);
   {
     // Wait until every worker that attached to the job has detached; after
     // that no other thread touches `job` and it can safely leave scope.
@@ -69,7 +89,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (job.error) std::rethrow_exception(job.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned slot) {
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -84,7 +104,7 @@ void ThreadPool::worker_loop() {
       }
     }
     if (job != nullptr) {
-      run_indices(*job);
+      run_chunks(*job, slot);
       bool last = false;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -95,18 +115,46 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_indices(Job& job) {
+/// Pops the owner's front chunk, or — when the own deque is empty — steals
+/// from the back of another slot's deque. Owners drain FIFO so each thread
+/// runs its indices in increasing order; thieves take from the back so they
+/// grab the chunk farthest from what the owner touches next.
+bool ThreadPool::claim(unsigned slot, Chunk& out) {
+  {
+    std::lock_guard<std::mutex> lock(slots_[slot].mutex);
+    if (!slots_[slot].chunks.empty()) {
+      out = slots_[slot].chunks.front();
+      slots_[slot].chunks.pop_front();
+      return true;
+    }
+  }
+  for (unsigned k = 1; k < threads_; ++k) {
+    const unsigned victim = (slot + k) % threads_;
+    std::lock_guard<std::mutex> lock(slots_[victim].mutex);
+    if (!slots_[victim].chunks.empty()) {
+      out = slots_[victim].chunks.back();
+      slots_[victim].chunks.pop_back();
+      return true;
+    }
+  }
+  // All chunks are claimed (no new chunks appear mid-job), so it is safe to
+  // detach even while other participants still run theirs.
+  return false;
+}
+
+void ThreadPool::run_chunks(Job& job, unsigned slot) {
   t_inside_pool_job = true;
-  for (;;) {
-    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.n) break;
-    try {
-      (*job.fn)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job.error || i < job.error_index) {
-        job.error = std::current_exception();
-        job.error_index = i;
+  Chunk chunk;
+  while (claim(slot, chunk)) {
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error || i < job.error_index) {
+          job.error = std::current_exception();
+          job.error_index = i;
+        }
       }
     }
   }

@@ -1,13 +1,24 @@
-// A small fixed-size thread pool for fanning independent sweep cells across
-// cores (bench/common.h run_sweep). Deliberately minimal: one job at a time,
-// the caller participates, indices are handed out through an atomic counter
-// so results land in deterministic slots regardless of thread count —
-// RISPP_THREADS=1 reproduces multi-threaded results exactly.
+// A small fixed-size thread pool for fanning independent work items across
+// cores (bench/common.h run_sweep, the encoder's wavefront rows).
+// Deliberately minimal: one job at a time and the caller participates — but
+// scheduling is work-stealing: the index range is pre-split into chunks
+// dealt round-robin (in increasing order) onto per-thread deques; owners pop
+// their own deque FIFO, idle threads steal from other deques' backs. Uneven
+// items no longer serialize behind one straggler, and results stay in
+// deterministic slots regardless of thread count — RISPP_THREADS=1
+// reproduces multi-threaded results exactly.
+//
+// The increasing-order FIFO ownership gives pipelined jobs (the encoder
+// wavefront, which spin-waits on lower-index progress) a liveness
+// guarantee: the smallest unfinished index is always either running or at
+// the front of a deque whose owner is running a smaller index.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -36,27 +47,41 @@ class ThreadPool {
   /// Invokes fn(0) .. fn(n-1) exactly once each, concurrently, and returns
   /// once all calls finished. If any call throws, the exception of the
   /// lowest-index failure is rethrown in the caller (the remaining indices
-  /// still run). Reentrant calls from inside a worker run serially.
+  /// still run). Reentrant calls from inside a worker run serially, in
+  /// increasing index order.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool sized from parallel_thread_count().
   static ThreadPool& global();
 
  private:
+  /// Contiguous index range [begin, end), executed in increasing order.
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// One work deque per participant (slot 0 = the caller).
+  struct Slot {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
-    std::atomic<std::size_t> next{0};
-    unsigned attached = 0;  // participants inside run_indices (mutex-guarded)
+    unsigned attached = 0;  // participants inside run_chunks (mutex-guarded)
     std::exception_ptr error;            // lowest-index failure (mutex-guarded)
     std::size_t error_index = 0;
   };
 
-  void worker_loop();
-  void run_indices(Job& job);
+  void worker_loop(unsigned slot);
+  void run_chunks(Job& job, unsigned slot);
+  bool claim(unsigned slot, Chunk& out);
 
   unsigned threads_;
   std::vector<std::thread> workers_;
+  std::vector<Slot> slots_;
   std::mutex mutex_;
   std::condition_variable work_cv_;   // workers: a new job arrived / stop
   std::condition_variable done_cv_;   // caller: all participants detached

@@ -22,6 +22,13 @@ void BitWriter::align() {
   while (filled_ != 0) put_bit(false);
 }
 
+void BitWriter::append(const BitWriter& other) {
+  for (const std::uint8_t byte : other.bytes_) put_bits(byte, 8);
+  // current_ keeps its filled_ bits in the low positions, oldest bit
+  // highest — exactly put_bits' (value, count) contract.
+  if (other.filled_ > 0) put_bits(other.current_, other.filled_);
+}
+
 std::vector<std::uint8_t> BitWriter::bytes() const {
   std::vector<std::uint8_t> out = bytes_;
   if (filled_ != 0)

@@ -15,6 +15,11 @@ class BitWriter {
   /// Pads with zero bits to the next byte boundary.
   void align();
 
+  /// Appends every bit of `other` (complete bytes plus its partial tail), as
+  /// if other's put_bits calls had been replayed here — the encoder stitches
+  /// per-row writers back into one frame payload this way.
+  void append(const BitWriter& other);
+
   std::size_t bit_count() const { return bit_count_; }
   /// Byte view (aligned with zero padding).
   std::vector<std::uint8_t> bytes() const;

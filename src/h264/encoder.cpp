@@ -1,8 +1,13 @@
 #include "h264/encoder.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "base/check.h"
+#include "base/parallel.h"
 #include "h264/intra.h"
 #include "h264/kernels.h"
 #include "h264/quant.h"
@@ -19,7 +24,8 @@ Encoder::Encoder(const EncoderConfig& config, int width, int height, const H264S
   decisions_.resize(mbs);
 }
 
-int Encoder::code_mb_luma(const Frame& input, int px, int py, const Pixel pred[16 * 16]) {
+int Encoder::code_mb_luma(const Frame& input, int px, int py, const Pixel pred[16 * 16],
+                          BitWriter& bits) {
   int activity = 0;
   for (int by = 0; by < 16; by += 4) {
     for (int bx = 0; bx < 16; bx += 4) {
@@ -30,7 +36,7 @@ int Encoder::code_mb_luma(const Frame& input, int px, int py, const Pixel pred[1
                              static_cast<int>(pred[(by + y) * 16 + bx + x]);
       dct4x4(resid, coeff);
       quantize_block(coeff, level, config_.qp);
-      encode_residual_block(frame_bits_, level);
+      encode_residual_block(bits, level);
       for (int i = 0; i < 16; ++i) activity += std::abs(level[i]);
       dequantize_block(level, deq, config_.qp);
       idct4x4(deq, rec);
@@ -89,96 +95,145 @@ FrameResult Encoder::encode_frame(const Frame& input, FrameSiTrace* trace) {
   FrameResult result;
   frame_bits_ = BitWriter();
 
-  auto record = [&](std::vector<SiId>* list, SiId si) {
-    if (list != nullptr) list->push_back(si);
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::global();
+
+  // Per-row wavefront progress: <counter>[r] is the number of MBs of row r
+  // a phase has completed. release on store / acquire on load publishes the
+  // row's mv_field_/recon_ writes to the row below.
+  const auto make_progress = [&] {
+    std::unique_ptr<std::atomic<int>[]> p(new std::atomic<int>[mbs_y]);
+    for (int i = 0; i < mbs_y; ++i) p[i].store(0, std::memory_order_relaxed);
+    return p;
   };
 
-  // ---- Motion Estimation hot spot -------------------------------------
+  // ---- Motion Estimation hot spot (wavefront over MB rows) --------------
   inter_cost_scratch_.assign(mv_field_.size(), 0);
   if (!intra_frame) {
-    for (int my = 0; my < mbs_y; ++my) {
+    std::vector<std::vector<SiId>> row_me(trace != nullptr ? mbs_y : 0);
+    const auto me_done = make_progress();
+    pool.parallel_for(static_cast<std::size_t>(mbs_y), [&](std::size_t row) {
+      const int my = static_cast<int>(row);
+      KernelHook hook;
+      if (trace != nullptr) {
+        std::vector<SiId>* events = &row_me[my];
+        const H264SiIds ids = ids_;
+        hook = [events, ids](bool is_satd) { events->push_back(is_satd ? ids.satd : ids.sad); };
+      }
+      // The row's first MB predicts from the MB directly above, so one
+      // finished MB of row my-1 unblocks the whole row.
+      if (my > 0)
+        while (me_done[my - 1].load(std::memory_order_acquire) < 1) std::this_thread::yield();
       for (int mx = 0; mx < mbs_x; ++mx) {
         const int mb = my * mbs_x + mx;
         // MV prediction: left neighbour, else top, else zero.
         MotionVector pred;
         if (mx > 0) pred = mv_field_[mb - 1];
         else if (my > 0) pred = mv_field_[mb - mbs_x];
-        KernelHook hook;
-        if (trace != nullptr)
-          hook = [&](bool is_satd) { trace->me.push_back(is_satd ? ids_.satd : ids_.sad); };
         const MotionSearchResult sr = motion_search_16x16(
             input.y, ref_.y, mx * kMbSize, my * kMbSize, pred, config_.search, hook);
         mv_field_[mb] = sr.mv;
         decisions_[mb].mv = sr.mv;
         decisions_[mb].intra = false;
         inter_cost_scratch_[mb] = sr.satd;  // EE mode decision input
+        me_done[my].store(mx + 1, std::memory_order_release);
       }
-    }
+    });
+    if (trace != nullptr)
+      for (const auto& row : row_me) trace->me.insert(trace->me.end(), row.begin(), row.end());
   }
 
-  // ---- Encoding Engine hot spot ----------------------------------------
-  for (int my = 0; my < mbs_y; ++my) {
-    for (int mx = 0; mx < mbs_x; ++mx) {
-      const int mb = my * mbs_x + mx;
-      const int px = mx * kMbSize, py = my * kMbSize;
+  // ---- Encoding Engine hot spot (wavefront, one-MB lag per row) ---------
+  {
+    std::vector<std::vector<SiId>> row_ee(trace != nullptr ? mbs_y : 0);
+    std::vector<BitWriter> row_bits(mbs_y);
+    std::vector<int> row_intra(mbs_y, 0);
+    std::vector<int> row_inter(mbs_y, 0);
+    const auto ee_done = make_progress();
+    pool.parallel_for(static_cast<std::size_t>(mbs_y), [&](std::size_t row) {
+      const int my = static_cast<int>(row);
+      BitWriter& bits = row_bits[my];
+      auto record = [&](SiId si) {
+        if (trace != nullptr) row_ee[my].push_back(si);
+      };
+      for (int mx = 0; mx < mbs_x; ++mx) {
+        // IPred VDC and the decodable MV predictor read the MB directly
+        // above: trail row my-1 by one MB.
+        if (my > 0)
+          while (ee_done[my - 1].load(std::memory_order_acquire) < mx + 1)
+            std::this_thread::yield();
+        const int mb = my * mbs_x + mx;
+        const int px = mx * kMbSize, py = my * kMbSize;
 
-      // Intra candidates: horizontal and vertical DC prediction from the
-      // in-progress reconstruction.
-      Pixel pred_h[16 * 16], pred_v[16 * 16];
-      ipred_hdc_16x16(recon_.y, px, py, pred_h);
-      record(trace ? &trace->ee : nullptr, ids_.ipred_hdc);
-      ipred_vdc_16x16(recon_.y, px, py, pred_v);
-      record(trace ? &trace->ee : nullptr, ids_.ipred_vdc);
-      const std::uint32_t cost_h = satd_16x16_pred(input.y, px, py, pred_h);
-      const std::uint32_t cost_v = satd_16x16_pred(input.y, px, py, pred_v);
-      const Pixel* intra_pred = cost_h <= cost_v ? pred_h : pred_v;
-      const std::uint32_t intra_cost = cost_h <= cost_v ? cost_h : cost_v;
+        // Intra candidates: horizontal and vertical DC prediction from the
+        // in-progress reconstruction.
+        Pixel pred_h[16 * 16], pred_v[16 * 16];
+        ipred_hdc_16x16(recon_.y, px, py, pred_h);
+        record(ids_.ipred_hdc);
+        ipred_vdc_16x16(recon_.y, px, py, pred_v);
+        record(ids_.ipred_vdc);
+        const std::uint32_t cost_h = satd_16x16_pred(input.y, px, py, pred_h);
+        const std::uint32_t cost_v = satd_16x16_pred(input.y, px, py, pred_v);
+        const Pixel* intra_pred = cost_h <= cost_v ? pred_h : pred_v;
+        const std::uint32_t intra_cost = cost_h <= cost_v ? cost_h : cost_v;
 
-      bool use_intra = intra_frame;
-      if (!intra_frame) {
-        const std::uint32_t inter_cost = inter_cost_scratch_[mb];
-        use_intra = intra_cost * 8 < inter_cost * static_cast<std::uint32_t>(config_.intra_bias_num);
+        bool use_intra = intra_frame;
+        if (!intra_frame) {
+          const std::uint32_t inter_cost = inter_cost_scratch_[mb];
+          use_intra =
+              intra_cost * 8 < inter_cost * static_cast<std::uint32_t>(config_.intra_bias_num);
+        }
+        decisions_[mb].intra = use_intra;
+        coded_mv_[mb] = use_intra ? MotionVector{} : decisions_[mb].mv;
+
+        // MB header: mode flag plus, for inter MBs, the differential MV.
+        bits.put_bit(use_intra);
+        Pixel prediction[16 * 16];
+        if (use_intra) {
+          bits.put_bit(cost_h <= cost_v);  // HDC vs VDC choice
+          for (int i = 0; i < 16 * 16; ++i) prediction[i] = intra_pred[i];
+          ++row_intra[my];
+        } else {
+          // The MV predictor must be decodable: left (else top) neighbour's
+          // *coded* MV, which is zero for intra MBs.
+          MotionVector pred_mv;
+          if (mx > 0) pred_mv = coded_mv_[mb - 1];
+          else if (my > 0) pred_mv = coded_mv_[mb - mbs_x];
+          write_se(bits, decisions_[mb].mv.x - pred_mv.x);
+          write_se(bits, decisions_[mb].mv.y - pred_mv.y);
+          motion_compensate_16x16(ref_.y, px, py, decisions_[mb].mv, prediction);
+          // The MC 4 SI covers one 8x8 quarter (Table 1 names it after its
+          // 4x4 sub-block granularity): four executions per inter MB.
+          for (int q = 0; q < 4; ++q) record(ids_.mc);
+          ++row_inter[my];
+        }
+
+        const int activity = code_mb_luma(input, px, py, prediction, bits);
+        // (I)DCT runs per 8x8 region: four luma quarters plus one chroma pass.
+        for (int q = 0; q < 5; ++q) record(ids_.dct);
+
+        if (use_intra) {
+          // Intra16x16: extra Hadamard pass over the luma DC coefficients.
+          record(ids_.ht4x4);
+        }
+        code_mb_chroma(input, px, py);
+        record(ids_.ht2x2);  // chroma DC Hadamard
+        (void)activity;
+        ee_done[my].store(mx + 1, std::memory_order_release);
       }
-      decisions_[mb].intra = use_intra;
-      coded_mv_[mb] = use_intra ? MotionVector{} : decisions_[mb].mv;
-
-      // MB header: mode flag plus, for inter MBs, the differential MV.
-      frame_bits_.put_bit(use_intra);
-      Pixel prediction[16 * 16];
-      if (use_intra) {
-        frame_bits_.put_bit(cost_h <= cost_v);  // HDC vs VDC choice
-        for (int i = 0; i < 16 * 16; ++i) prediction[i] = intra_pred[i];
-        ++result.intra_mbs;
-      } else {
-        // The MV predictor must be decodable: left (else top) neighbour's
-        // *coded* MV, which is zero for intra MBs.
-        MotionVector pred_mv;
-        if (mx > 0) pred_mv = coded_mv_[mb - 1];
-        else if (my > 0) pred_mv = coded_mv_[mb - mbs_x];
-        write_se(frame_bits_, decisions_[mb].mv.x - pred_mv.x);
-        write_se(frame_bits_, decisions_[mb].mv.y - pred_mv.y);
-        motion_compensate_16x16(ref_.y, px, py, decisions_[mb].mv, prediction);
-        // The MC 4 SI covers one 8x8 quarter (Table 1 names it after its 4x4
-        // sub-block granularity): four executions per inter MB.
-        for (int q = 0; q < 4; ++q) record(trace ? &trace->ee : nullptr, ids_.mc);
-        ++result.inter_mbs;
-      }
-
-      const int activity = code_mb_luma(input, px, py, prediction);
-      // (I)DCT runs per 8x8 region: four luma quarters plus one chroma pass.
-      for (int q = 0; q < 5; ++q) record(trace ? &trace->ee : nullptr, ids_.dct);
-
-      if (use_intra) {
-        // Intra16x16: extra Hadamard pass over the luma DC coefficients.
-        record(trace ? &trace->ee : nullptr, ids_.ht4x4);
-      }
-      code_mb_chroma(input, px, py);
-      record(trace ? &trace->ee : nullptr, ids_.ht2x2);  // chroma DC Hadamard
-      (void)activity;
+    });
+    // Fold the rows back in raster order: the payload, MB counters and SI
+    // events come out identical to the serial encode.
+    for (int my = 0; my < mbs_y; ++my) {
+      frame_bits_.append(row_bits[my]);
+      result.intra_mbs += row_intra[my];
+      result.inter_mbs += row_inter[my];
     }
+    if (trace != nullptr)
+      for (const auto& row : row_ee) trace->ee.insert(trace->ee.end(), row.begin(), row.end());
   }
 
-  // ---- Loop Filter hot spot ---------------------------------------------
+  // ---- Loop Filter hot spot (serial: cheap, and each MB reads pixels two
+  // rows of filtering history deep) -----------------------------------------
   for (int my = 0; my < mbs_y; ++my) {
     for (int mx = 0; mx < mbs_x; ++mx) {
       const int mb = my * mbs_x + mx;
@@ -204,11 +259,11 @@ FrameResult Encoder::encode_frame(const Frame& input, FrameSiTrace* trace) {
 
       if (strong_edge_v()) {
         deblock_bs4_vertical(recon_.y, px, py, config_.deblock);
-        record(trace ? &trace->lf : nullptr, ids_.lf_bs4);
+        if (trace != nullptr) trace->lf.push_back(ids_.lf_bs4);
       }
       if (strong_edge_h()) {
         deblock_bs4_horizontal(recon_.y, px, py, config_.deblock);
-        record(trace ? &trace->lf : nullptr, ids_.lf_bs4);
+        if (trace != nullptr) trace->lf.push_back(ids_.lf_bs4);
       }
     }
   }

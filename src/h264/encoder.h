@@ -23,6 +23,10 @@
 #include "h264/entropy.h"
 #include "h264/motion_search.h"
 
+namespace rispp {
+class ThreadPool;
+}
+
 namespace rispp::h264 {
 
 struct EncoderConfig {
@@ -60,7 +64,18 @@ class Encoder {
 
   /// Encodes one frame; appends SI executions to `trace` if non-null.
   /// The first frame is always intra.
+  ///
+  /// ME and EE evaluate macroblock rows as a wavefront on the thread pool
+  /// (set_thread_pool; default: ThreadPool::global()): row r's motion search
+  /// waits for one finished MB of row r-1 (top MV predictor), and its
+  /// encoding engine trails row r-1 by one MB (top reconstruction for IPred
+  /// VDC, top coded MV). Per-row SI events and entropy bits are folded back
+  /// in row order, so trace and payload are identical for any thread count.
   FrameResult encode_frame(const Frame& input, FrameSiTrace* trace);
+
+  /// Pool used for the wavefront; nullptr (default) means the global pool.
+  /// A pool with thread_count() <= 1 reproduces the serial encode exactly.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   const Frame& reconstructed() const { return recon_; }
   /// Entropy-coded payload of the last encoded frame (decoder input).
@@ -74,8 +89,10 @@ class Encoder {
   };
 
   /// Transforms, quantizes and reconstructs one 16x16 luma block given its
-  /// prediction; returns summed absolute quantized levels (activity proxy).
-  int code_mb_luma(const Frame& input, int px, int py, const Pixel pred[16 * 16]);
+  /// prediction, entropy-coding levels into `bits` (the caller row's
+  /// writer); returns summed absolute quantized levels (activity proxy).
+  int code_mb_luma(const Frame& input, int px, int py, const Pixel pred[16 * 16],
+                   BitWriter& bits);
   void code_mb_chroma(const Frame& input, int px, int py);
 
   EncoderConfig config_;
@@ -87,6 +104,7 @@ class Encoder {
   std::vector<MbDecision> decisions_;
   std::vector<std::uint32_t> inter_cost_scratch_;  // per-MB inter SATD of this frame
   BitWriter frame_bits_;                           // entropy-coded payload
+  ThreadPool* pool_ = nullptr;                     // nullptr -> global pool
   int frame_ = 0;
 };
 

@@ -1,5 +1,10 @@
 #include "h264/interpolate.h"
 
+#include <cstring>
+
+#include "h264/kernels.h"
+#include "h264/simd.h"
+
 namespace rispp::h264 {
 namespace {
 
@@ -33,8 +38,8 @@ Pixel interpolate_half_pel(const Plane& ref, int full_x, int full_y, bool half_x
   return clip_pixel(filter_hv(ref, full_x, full_y));
 }
 
-void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y,
-                             const MotionVector& mv, Pixel dst[16 * 16]) {
+void motion_compensate_16x16_scalar(const Plane& ref, int mb_px_x, int mb_px_y,
+                                    const MotionVector& mv, Pixel dst[16 * 16]) {
   const int base_x = mb_px_x + (mv.x >> 1);
   const int base_y = mb_px_y + (mv.y >> 1);
   const bool half_x = (mv.x & 1) != 0;
@@ -42,6 +47,98 @@ void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y,
   for (int y = 0; y < 16; ++y)
     for (int x = 0; x < 16; ++x)
       dst[y * 16 + x] = interpolate_half_pel(ref, base_x + x, base_y + y, half_x, half_y);
+}
+
+#ifdef RISPP_SIMD
+
+namespace {
+
+using simd::i16x16;
+using simd::i32x16;
+using simd::u8x16;
+
+inline i16x16 row_i16(const Pixel* p) { return simd::widen_i16(simd::load_u8x16(p)); }
+inline i32x16 row_i32(const Pixel* p) { return simd::widen_i32(simd::load_u8x16(p)); }
+
+/// 6-tap horizontal filter of 16 adjacent samples starting at p, 16-bit
+/// lanes (raw value range [-2550, 5610], well inside int16).
+inline i16x16 filter_h16(const Pixel* p) {
+  return row_i16(p - 2) - 5 * row_i16(p - 1) + 20 * row_i16(p) + 20 * row_i16(p + 1) -
+         5 * row_i16(p + 2) + row_i16(p + 3);
+}
+
+inline void store_clipped(Pixel* dst, i16x16 v) {
+  simd::store_u8x16(dst, simd::narrow_u8(simd::clamp_pixel_lanes(v)));
+}
+
+}  // namespace
+
+void motion_compensate_16x16_simd(const Plane& ref, int mb_px_x, int mb_px_y,
+                                  const MotionVector& mv, Pixel dst[16 * 16]) {
+  const int base_x = mb_px_x + (mv.x >> 1);
+  const int base_y = mb_px_y + (mv.y >> 1);
+  const bool half_x = (mv.x & 1) != 0;
+  const bool half_y = (mv.y & 1) != 0;
+  // Conservative footprint of the 6-tap filter around the 16x16 block; any
+  // clamped access means the scalar edge-replication path.
+  if (base_x - 2 < 0 || base_x + 19 > ref.width() || base_y - 2 < 0 ||
+      base_y + 19 > ref.height()) {
+    motion_compensate_16x16_scalar(ref, mb_px_x, mb_px_y, mv, dst);
+    return;
+  }
+  if (!half_x && !half_y) {
+    for (int y = 0; y < 16; ++y) std::memcpy(dst + y * 16, ref.row(base_y + y) + base_x, 16);
+    return;
+  }
+  if (half_x && !half_y) {
+    for (int y = 0; y < 16; ++y) {
+      const i16x16 v = filter_h16(ref.row(base_y + y) + base_x);
+      store_clipped(dst + y * 16, (v + 16) >> 5);
+    }
+    return;
+  }
+  if (!half_x && half_y) {
+    for (int y = 0; y < 16; ++y) {
+      const int ry = base_y + y;
+      const i16x16 v = row_i16(ref.row(ry - 2) + base_x) - 5 * row_i16(ref.row(ry - 1) + base_x) +
+                       20 * row_i16(ref.row(ry) + base_x) +
+                       20 * row_i16(ref.row(ry + 1) + base_x) -
+                       5 * row_i16(ref.row(ry + 2) + base_x) + row_i16(ref.row(ry + 3) + base_x);
+      store_clipped(dst + y * 16, (v + 16) >> 5);
+    }
+    return;
+  }
+  // half_x && half_y: vertical 6-tap over raw horizontal intermediates
+  // (range exceeds int16, so 32-bit lanes), then the combined (v+512)>>10.
+  i32x16 hrow[21];
+  for (int r = 0; r < 21; ++r) {
+    const Pixel* p = ref.row(base_y - 2 + r) + base_x;
+    hrow[r] = row_i32(p - 2) - 5 * row_i32(p - 1) + 20 * row_i32(p) + 20 * row_i32(p + 1) -
+              5 * row_i32(p + 2) + row_i32(p + 3);
+  }
+  for (int y = 0; y < 16; ++y) {
+    const i32x16 v = hrow[y] - 5 * hrow[y + 1] + 20 * hrow[y + 2] + 20 * hrow[y + 3] -
+                     5 * hrow[y + 4] + hrow[y + 5];
+    const i32x16 c = simd::clamp_pixel_lanes((v + 512) >> 10);
+    simd::store_u8x16(dst + y * 16, simd::narrow_u8(c));
+  }
+}
+
+#else  // !RISPP_SIMD
+
+void motion_compensate_16x16_simd(const Plane& ref, int mb_px_x, int mb_px_y,
+                                  const MotionVector& mv, Pixel dst[16 * 16]) {
+  motion_compensate_16x16_scalar(ref, mb_px_x, mb_px_y, mv, dst);
+}
+
+#endif  // RISPP_SIMD
+
+void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y, const MotionVector& mv,
+                             Pixel dst[16 * 16]) {
+  if (active_kernel_backend() == KernelBackend::kSimd)
+    motion_compensate_16x16_simd(ref, mb_px_x, mb_px_y, mv, dst);
+  else
+    motion_compensate_16x16_scalar(ref, mb_px_x, mb_px_y, mv, dst);
 }
 
 }  // namespace rispp::h264

@@ -25,9 +25,17 @@ struct MotionVector {
 
 /// Motion-compensates a 16x16 luma block from `ref` at full- or half-pel
 /// position (mb_x*16*2 + mv.x, ...) into `dst` (row-major 16x16).
-/// Edge-clamped like the SAD kernels.
+/// Edge-clamped like the SAD kernels. Dispatches on the active kernel
+/// backend (kernels.h); the SIMD path is bit-exact and falls back to scalar
+/// whenever the filter footprint could leave the frame.
 void motion_compensate_16x16(const Plane& ref, int mb_px_x, int mb_px_y,
                              const MotionVector& mv, Pixel dst[16 * 16]);
+
+// Backend-pinned variants (equivalence tests and micro benches).
+void motion_compensate_16x16_scalar(const Plane& ref, int mb_px_x, int mb_px_y,
+                                    const MotionVector& mv, Pixel dst[16 * 16]);
+void motion_compensate_16x16_simd(const Plane& ref, int mb_px_x, int mb_px_y,
+                                  const MotionVector& mv, Pixel dst[16 * 16]);
 
 /// Half-pel interpolation at a single position (tests / reference).
 Pixel interpolate_half_pel(const Plane& ref, int full_x, int full_y, bool half_x, bool half_y);

@@ -1,0 +1,94 @@
+// Portable fixed-width SIMD primitives for the H.264 kernels.
+//
+// Built on the GCC/Clang generic vector extensions, so the same source
+// compiles to SSE/NEON/AVX (or scalar expansion) without any
+// target-specific intrinsics. Everything here is exact integer arithmetic:
+// a kernel written with these types produces bit-identical results to its
+// scalar reference — the paper's SADRow trap handler makes the same
+// packed-word argument for the hardware SIs.
+//
+// When the extensions are unavailable RISPP_SIMD stays undefined and the
+// dispatching kernels (kernels.h) keep the scalar path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(RISPP_NO_SIMD)
+#define RISPP_SIMD 1
+#endif
+
+#ifdef RISPP_SIMD
+
+namespace rispp::h264::simd {
+
+using u8x16 = std::uint8_t __attribute__((vector_size(16)));
+using i16x16 = std::int16_t __attribute__((vector_size(32)));
+using i32x4 = std::int32_t __attribute__((vector_size(16)));
+using i32x16 = std::int32_t __attribute__((vector_size(64)));
+
+inline u8x16 load_u8x16(const std::uint8_t* p) {
+  u8x16 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store_u8x16(std::uint8_t* p, u8x16 v) { std::memcpy(p, &v, sizeof v); }
+
+inline i32x4 load_i32x4(const int* p) {
+  i32x4 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store_i32x4(int* p, i32x4 v) { std::memcpy(p, &v, sizeof v); }
+
+inline i16x16 widen_i16(u8x16 v) { return __builtin_convertvector(v, i16x16); }
+inline i32x16 widen_i32(u8x16 v) { return __builtin_convertvector(v, i32x16); }
+inline i32x16 widen_i32(i16x16 v) { return __builtin_convertvector(v, i32x16); }
+inline u8x16 narrow_u8(i16x16 v) { return __builtin_convertvector(v, u8x16); }
+inline u8x16 narrow_u8(i32x16 v) { return __builtin_convertvector(v, u8x16); }
+
+/// Lanewise |v| via sign-mask arithmetic (no lane may be INT_MIN — pixel
+/// differences and Hadamard coefficients are far smaller).
+inline i16x16 abs_lanes(i16x16 v) {
+  const i16x16 m = v >> 15;
+  return (v ^ m) - m;
+}
+
+inline i32x4 abs_lanes(i32x4 v) {
+  const i32x4 m = v >> 31;
+  return (v ^ m) - m;
+}
+
+/// Lanewise clamp to the pixel range [0, 255] via mask arithmetic.
+template <typename V>
+inline V clamp_pixel_lanes(V v) {
+  v &= ~(v >> (sizeof(v[0]) * 8 - 1));  // negative lanes -> 0
+  const V over = (255 - v) >> (sizeof(v[0]) * 8 - 1);
+  return (v & ~over) | (over & 255);
+}
+
+/// In-place 4x4 transpose of four row vectors.
+inline void transpose4(i32x4& a, i32x4& b, i32x4& c, i32x4& d) {
+  const i32x4 t0 = __builtin_shufflevector(a, b, 0, 4, 1, 5);
+  const i32x4 t1 = __builtin_shufflevector(a, b, 2, 6, 3, 7);
+  const i32x4 t2 = __builtin_shufflevector(c, d, 0, 4, 1, 5);
+  const i32x4 t3 = __builtin_shufflevector(c, d, 2, 6, 3, 7);
+  a = __builtin_shufflevector(t0, t2, 0, 1, 4, 5);
+  b = __builtin_shufflevector(t0, t2, 2, 3, 6, 7);
+  c = __builtin_shufflevector(t1, t3, 0, 1, 4, 5);
+  d = __builtin_shufflevector(t1, t3, 2, 3, 6, 7);
+}
+
+template <typename V>
+inline std::uint32_t horizontal_sum_u32(V v) {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < sizeof(v) / sizeof(v[0]); ++i)
+    acc += static_cast<std::uint32_t>(v[i]);
+  return acc;
+}
+
+}  // namespace rispp::h264::simd
+
+#endif  // RISPP_SIMD

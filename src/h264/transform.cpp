@@ -1,5 +1,8 @@
 #include "h264/transform.h"
 
+#include "h264/kernels.h"
+#include "h264/simd.h"
+
 namespace rispp::h264 {
 namespace {
 
@@ -52,15 +55,15 @@ void transform_2d(const int in[16], int out[16], RowFn fn) {
 
 }  // namespace
 
-void dct4x4(const int in[16], int out[16]) {
+void dct4x4_scalar(const int in[16], int out[16]) {
   transform_2d(in, out, [](const int* x, int* y) { forward_butterfly(x, y); });
 }
 
-void idct4x4(const int in[16], int out[16]) {
+void idct4x4_scalar(const int in[16], int out[16]) {
   transform_2d(in, out, [](const int* x, int* y) { inverse_butterfly(x, y); });
 }
 
-void hadamard4x4(const int in[16], int out[16]) {
+void hadamard4x4_scalar(const int in[16], int out[16]) {
   transform_2d(in, out, [](const int* x, int* y) {
     const int s0 = x[0] + x[2], s1 = x[1] + x[3];
     const int d0 = x[0] - x[2], d1 = x[1] - x[3];
@@ -69,6 +72,104 @@ void hadamard4x4(const int in[16], int out[16]) {
     y[2] = s0 - s1;
     y[3] = d0 - d1;
   });
+}
+
+#ifdef RISPP_SIMD
+
+namespace {
+
+using simd::i32x4;
+
+// Both 1-D passes run as lanewise butterflies over transposed row vectors:
+// load rows -> transpose (lanes = one matrix row each) -> butterfly = the
+// scalar row pass -> transpose -> butterfly = the scalar column pass ->
+// vectors are the output rows. Pure int32 adds/shifts, so bit-identical.
+template <typename Butterfly>
+inline void transform_2d_simd(const int in[16], int out[16], Butterfly fn) {
+  i32x4 r0 = simd::load_i32x4(in + 0);
+  i32x4 r1 = simd::load_i32x4(in + 4);
+  i32x4 r2 = simd::load_i32x4(in + 8);
+  i32x4 r3 = simd::load_i32x4(in + 12);
+  simd::transpose4(r0, r1, r2, r3);
+  fn(r0, r1, r2, r3);
+  simd::transpose4(r0, r1, r2, r3);
+  fn(r0, r1, r2, r3);
+  simd::store_i32x4(out + 0, r0);
+  simd::store_i32x4(out + 4, r1);
+  simd::store_i32x4(out + 8, r2);
+  simd::store_i32x4(out + 12, r3);
+}
+
+inline void forward_butterfly_v(i32x4& x0, i32x4& x1, i32x4& x2, i32x4& x3) {
+  const i32x4 s0 = x0 + x3, s1 = x1 + x2;
+  const i32x4 d0 = x0 - x3, d1 = x1 - x2;
+  x0 = s0 + s1;
+  x1 = 2 * d0 + d1;
+  x2 = s0 - s1;
+  x3 = d0 - 2 * d1;
+}
+
+inline void inverse_butterfly_v(i32x4& x0, i32x4& x1, i32x4& x2, i32x4& x3) {
+  const i32x4 a = 5 * (x0 + x2);
+  const i32x4 b = 5 * (x0 - x2);
+  const i32x4 c = 4 * x1 + 2 * x3;
+  const i32x4 d = 2 * x1 - 4 * x3;
+  x0 = a + c;
+  x1 = b + d;
+  x2 = b - d;
+  x3 = a - c;
+}
+
+inline void hadamard_butterfly_v(i32x4& x0, i32x4& x1, i32x4& x2, i32x4& x3) {
+  const i32x4 s0 = x0 + x2, s1 = x1 + x3;
+  const i32x4 d0 = x0 - x2, d1 = x1 - x3;
+  x0 = s0 + s1;
+  x1 = d0 + d1;
+  x2 = s0 - s1;
+  x3 = d0 - d1;
+}
+
+}  // namespace
+
+void dct4x4_simd(const int in[16], int out[16]) {
+  transform_2d_simd(in, out, forward_butterfly_v);
+}
+
+void idct4x4_simd(const int in[16], int out[16]) {
+  transform_2d_simd(in, out, inverse_butterfly_v);
+}
+
+void hadamard4x4_simd(const int in[16], int out[16]) {
+  transform_2d_simd(in, out, hadamard_butterfly_v);
+}
+
+#else  // !RISPP_SIMD
+
+void dct4x4_simd(const int in[16], int out[16]) { dct4x4_scalar(in, out); }
+void idct4x4_simd(const int in[16], int out[16]) { idct4x4_scalar(in, out); }
+void hadamard4x4_simd(const int in[16], int out[16]) { hadamard4x4_scalar(in, out); }
+
+#endif  // RISPP_SIMD
+
+void dct4x4(const int in[16], int out[16]) {
+  if (active_kernel_backend() == KernelBackend::kSimd)
+    dct4x4_simd(in, out);
+  else
+    dct4x4_scalar(in, out);
+}
+
+void idct4x4(const int in[16], int out[16]) {
+  if (active_kernel_backend() == KernelBackend::kSimd)
+    idct4x4_simd(in, out);
+  else
+    idct4x4_scalar(in, out);
+}
+
+void hadamard4x4(const int in[16], int out[16]) {
+  if (active_kernel_backend() == KernelBackend::kSimd)
+    hadamard4x4_simd(in, out);
+  else
+    hadamard4x4_scalar(in, out);
 }
 
 void hadamard2x2(const int in[4], int out[4]) {

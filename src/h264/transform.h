@@ -1,5 +1,9 @@
 // H.264 4x4 integer transforms — the functional counterparts of the (I)DCT,
 // (I)HT 4x4 and (I)HT 2x2 Special Instructions.
+//
+// dct4x4/idct4x4/hadamard4x4 dispatch on the active kernel backend
+// (kernels.h); the SIMD versions run the same exact-integer butterflies on
+// transposed row vectors and are bit-identical to the scalar reference.
 #pragma once
 
 #include <cstdint>
@@ -21,5 +25,13 @@ void hadamard4x4(const int in[16], int out[16]);
 
 /// 2x2 Hadamard of chroma DC coefficients; twice == 4*x.
 void hadamard2x2(const int in[4], int out[4]);
+
+// Backend-pinned variants (equivalence tests and micro benches).
+void dct4x4_scalar(const int in[16], int out[16]);
+void dct4x4_simd(const int in[16], int out[16]);
+void idct4x4_scalar(const int in[16], int out[16]);
+void idct4x4_simd(const int in[16], int out[16]);
+void hadamard4x4_scalar(const int in[16], int out[16]);
+void hadamard4x4_simd(const int in[16], int out[16]);
 
 }  // namespace rispp::h264

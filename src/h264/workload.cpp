@@ -1,6 +1,9 @@
 #include "h264/workload.h"
 
+#include <memory>
+
 #include "base/check.h"
+#include "base/parallel.h"
 #include "isa/h264_si_library.h"
 
 namespace rispp::h264 {
@@ -40,6 +43,11 @@ WorkloadResult generate_h264_workload(const SpecialInstructionSet& set,
 
   SyntheticVideo video(config.video);
   Encoder encoder(config.encoder, config.video.width, config.video.height, ids);
+  std::unique_ptr<ThreadPool> own_pool;
+  if (config.encode_threads > 0) {
+    own_pool = std::make_unique<ThreadPool>(static_cast<unsigned>(config.encode_threads));
+    encoder.set_thread_pool(own_pool.get());
+  }
 
   double psnr_sum = 0.0;
   std::uint64_t total_bits = 0;

@@ -17,8 +17,9 @@ namespace rispp::h264 {
 enum : HotSpotId { kHotSpotMe = 0, kHotSpotEe = 1, kHotSpotLf = 2 };
 
 /// Bump when the encoder/workload changes in a way that alters recorded
-/// traces — cache files (bench/common.cpp) are keyed on it.
-inline constexpr int kWorkloadTraceVersion = 3;
+/// traces or their file format — cache files (bench/common.cpp) are keyed on
+/// it. v4: trace format v2 (serialized RLE runs).
+inline constexpr int kWorkloadTraceVersion = 4;
 
 struct WorkloadConfig {
   int frames = 140;  // the paper's sequence length
@@ -28,6 +29,10 @@ struct WorkloadConfig {
   /// entry (loop control, address generation, function calls).
   Cycles per_execution_overhead = 8;
   Cycles hot_spot_entry_overhead = 2'000;
+  /// Wavefront thread count for the encoder: 0 (default) uses the global
+  /// pool, >= 1 a dedicated pool of that size. The trace is identical for
+  /// any value (determinism-tested), so this is NOT part of the cache key.
+  int encode_threads = 0;
 };
 
 /// Resolves the Table 1 SI names against `set`.

@@ -8,7 +8,13 @@
 namespace rispp {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x52545243;  // "RTRC"
+// Format v1 ("RTRC") serialized executions only and rebuilt the run form on
+// every load. v2 appends each instance's RLE runs so warm loads skip
+// build_runs(); the magic itself changed so a v1 file can never be misparsed
+// as v2 (a version field after the old magic could collide with v1's
+// hot-spot count).
+constexpr std::uint32_t kMagicV1 = 0x52545243;  // "RTRC"
+constexpr std::uint32_t kMagic = 0x32545243;    // v2: serialized runs
 
 template <typename T>
 void put(std::ostream& os, const T& v) {
@@ -88,11 +94,32 @@ void WorkloadTrace::save(std::ostream& os) const {
     put<std::uint64_t>(os, inst.executions.size());
     os.write(reinterpret_cast<const char*>(inst.executions.data()),
              static_cast<std::streamsize>(inst.executions.size() * sizeof(SiId)));
+    // The instance's run form; encoded on the fly when build_runs() hasn't
+    // been called, so every v2 file carries runs.
+    std::vector<SiRun> local;
+    const std::vector<SiRun>* runs = &inst.runs;
+    if (runs->empty() && !inst.executions.empty()) {
+      for (SiId si : inst.executions) {
+        if (!local.empty() && local.back().si == si)
+          ++local.back().count;
+        else
+          local.push_back(SiRun{si, 1});
+      }
+      runs = &local;
+    }
+    put<std::uint64_t>(os, runs->size());
+    for (const SiRun& run : *runs) {
+      put(os, run.si);
+      put(os, run.count);
+    }
   }
 }
 
 WorkloadTrace WorkloadTrace::load(std::istream& is) {
-  RISPP_CHECK_MSG(get<std::uint32_t>(is) == kMagic, "not a RISPP trace");
+  const auto magic = get<std::uint32_t>(is);
+  RISPP_CHECK_MSG(magic != kMagicV1,
+                  "trace format v1 (runs not serialized) — delete the file and regenerate");
+  RISPP_CHECK_MSG(magic == kMagic, "not a RISPP trace");
   WorkloadTrace trace;
   const auto hs_count = get<std::uint32_t>(is);
   trace.hot_spots.resize(hs_count);
@@ -114,8 +141,22 @@ WorkloadTrace WorkloadTrace::load(std::istream& is) {
     is.read(reinterpret_cast<char*>(inst.executions.data()),
             static_cast<std::streamsize>(n * sizeof(SiId)));
     RISPP_CHECK(is.good());
+    const auto run_count = get<std::uint64_t>(is);
+    inst.runs.resize(run_count);
+    std::uint64_t run_total = 0;
+    for (auto& run : inst.runs) {
+      run.si = get<SiId>(is);
+      run.count = get<std::uint32_t>(is);
+      run_total += run.count;
+      // Totals come from the runs, so the rebuild scan is skipped entirely.
+      if (run.si >= trace.executions_per_si_.size())
+        trace.executions_per_si_.resize(run.si + 1, 0);
+      trace.executions_per_si_[run.si] += run.count;
+    }
+    RISPP_CHECK_MSG(run_total == n, "trace runs inconsistent with execution count");
+    trace.total_executions_ += n;
   }
-  trace.build_runs();
+  trace.runs_built_ = true;
   return trace;
 }
 

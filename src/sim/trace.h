@@ -71,7 +71,9 @@ struct WorkloadTrace {
   bool runs_built() const { return runs_built_; }
 
   /// Compact binary serialization (cache for expensive workload generation).
-  /// The run form is not serialized; load() rebuilds it.
+  /// Format v2 stores each instance's run form next to its executions, so
+  /// load() validates and adopts the runs instead of rebuilding them; a v1
+  /// file (pre-runs magic) is rejected with a clear regenerate message.
   void save(std::ostream& os) const;
   static WorkloadTrace load(std::istream& is);
 

@@ -46,6 +46,24 @@ TEST(GlobMatch, WildcardsAndLiterals) {
   EXPECT_FALSE(glob_match("a*c", "a_b_d"));
 }
 
+TEST(ComputeChildThreads, RedistributesFinishedReportsThreads) {
+  // Early in the run more reports remain than concurrent slots: each child
+  // gets the static total/jobs share.
+  EXPECT_EQ(compute_child_threads(8, 4, 10), 2u);
+  EXPECT_EQ(compute_child_threads(8, 4, 4), 2u);
+  // The tail: fewer unfinished reports than slots — stragglers inherit the
+  // finished reports' threads.
+  EXPECT_EQ(compute_child_threads(8, 4, 2), 4u);
+  EXPECT_EQ(compute_child_threads(8, 4, 1), 8u);
+}
+
+TEST(ComputeChildThreads, ClampsDegenerateInputs) {
+  EXPECT_EQ(compute_child_threads(0, 0, 0), 1u);  // never zero threads
+  EXPECT_EQ(compute_child_threads(1, 8, 8), 1u);  // more slots than threads
+  EXPECT_EQ(compute_child_threads(8, 0, 5), 8u);  // jobs clamped to >= 1
+  EXPECT_EQ(compute_child_threads(3, 2, 2), 1u);  // integer division floors
+}
+
 TEST(ParseIntStrict, AcceptsOnlyFullIntegersInRange) {
   EXPECT_EQ(parse_int_strict("42", 1, 100), 42);
   EXPECT_EQ(parse_int_strict("1", 1, 100), 1);

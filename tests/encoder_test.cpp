@@ -1,6 +1,7 @@
 // Tests of the H.264-subset encoder and the workload generation pipeline.
 #include <gtest/gtest.h>
 
+#include "h264/kernels.h"
 #include "h264/workload.h"
 #include "isa/h264_si_library.h"
 
@@ -73,6 +74,53 @@ TEST(Encoder, MotionPhaseModulatesSearchEffort) {
   ASSERT_GE(me_counts.size(), 5u);
   const auto [min_it, max_it] = std::minmax_element(me_counts.begin(), me_counts.end());
   EXPECT_GT(*max_it, *min_it);
+}
+
+TEST(Encoder, WavefrontDeterminism) {
+  // The wavefront-parallel encoder must reproduce the single-thread trace
+  // event for event at any thread count — the trace cache is keyed without
+  // the thread count on exactly this guarantee.
+  const auto set = h264sis::build_h264_si_set();
+  auto config = small_config(5);
+  config.encode_threads = 1;
+  const auto reference = generate_h264_workload(set, config);
+  for (int threads : {2, 8}) {
+    config.encode_threads = threads;
+    const auto parallel = generate_h264_workload(set, config);
+    EXPECT_EQ(parallel.mean_psnr, reference.mean_psnr) << threads << " threads";
+    EXPECT_EQ(parallel.mean_bitrate_kbps, reference.mean_bitrate_kbps)
+        << threads << " threads";
+    EXPECT_EQ(parallel.intra_mbs, reference.intra_mbs) << threads << " threads";
+    EXPECT_EQ(parallel.inter_mbs, reference.inter_mbs) << threads << " threads";
+    ASSERT_EQ(parallel.trace.instances.size(), reference.trace.instances.size())
+        << threads << " threads";
+    for (std::size_t i = 0; i < reference.trace.instances.size(); ++i) {
+      EXPECT_EQ(parallel.trace.instances[i].hot_spot,
+                reference.trace.instances[i].hot_spot)
+          << threads << " threads, instance " << i;
+      EXPECT_EQ(parallel.trace.instances[i].executions,
+                reference.trace.instances[i].executions)
+          << threads << " threads, instance " << i;
+    }
+  }
+}
+
+TEST(Encoder, WavefrontDeterministicAcrossKernelBackends) {
+  // SIMD on/off must also be invisible in the trace (bit-exact kernels).
+  if (!simd_available()) GTEST_SKIP() << "SIMD backend not compiled in";
+  const auto set = h264sis::build_h264_si_set();
+  const auto config = small_config(4);
+  const KernelBackend entry = active_kernel_backend();
+  set_kernel_backend(KernelBackend::kScalar);
+  const auto scalar = generate_h264_workload(set, config);
+  set_kernel_backend(KernelBackend::kSimd);
+  const auto simd = generate_h264_workload(set, config);
+  set_kernel_backend(entry);
+  EXPECT_EQ(scalar.mean_psnr, simd.mean_psnr);
+  ASSERT_EQ(scalar.trace.instances.size(), simd.trace.instances.size());
+  for (std::size_t i = 0; i < scalar.trace.instances.size(); ++i)
+    EXPECT_EQ(scalar.trace.instances[i].executions, simd.trace.instances[i].executions)
+        << "instance " << i;
 }
 
 TEST(Workload, CifMeCountsNearPaperProfile) {

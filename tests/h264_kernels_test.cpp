@@ -278,6 +278,111 @@ TEST(SyntheticVideoTest, DeterministicAndMoving) {
   EXPECT_GT(diff, 1000u);
 }
 
+// ---------------------------------------------------------------------------
+// Scalar/SIMD backend equivalence. The SIMD kernels claim bit-exactness; the
+// fuzzers below hammer that claim with random content, random block
+// positions, and reference positions that cross the frame border (the
+// edge-clamped path, where the SIMD kernels must fall back to scalar).
+
+TEST(KernelBackendTest, OverrideAndAvailability) {
+  const KernelBackend entry = active_kernel_backend();
+  set_kernel_backend(KernelBackend::kScalar);
+  EXPECT_EQ(active_kernel_backend(), KernelBackend::kScalar);
+  set_kernel_backend(KernelBackend::kSimd);
+  // Selecting kSimd without the backend compiled in keeps scalar.
+  EXPECT_EQ(active_kernel_backend(),
+            simd_available() ? KernelBackend::kSimd : KernelBackend::kScalar);
+  set_kernel_backend(entry);
+}
+
+TEST(KernelBackendTest, DispatchFollowsOverride) {
+  Xoshiro256 rng(20);
+  const Plane a = random_plane(rng, 48, 48);
+  const Plane b = random_plane(rng, 48, 48);
+  const KernelBackend entry = active_kernel_backend();
+  set_kernel_backend(KernelBackend::kScalar);
+  const std::uint32_t scalar = sad_16x16(a, 8, 8, b, 9, 7);
+  set_kernel_backend(KernelBackend::kSimd);
+  const std::uint32_t dispatched = sad_16x16(a, 8, 8, b, 9, 7);
+  set_kernel_backend(entry);
+  EXPECT_EQ(scalar, sad_16x16_scalar(a, 8, 8, b, 9, 7));
+  EXPECT_EQ(dispatched, scalar);  // bit-exact whichever backend ran
+}
+
+TEST(KernelEquivalenceTest, SadAndSatdFuzz) {
+  if (!simd_available()) GTEST_SKIP() << "SIMD backend not compiled in";
+  Xoshiro256 rng(21);
+  const Plane a = random_plane(rng, 80, 64);
+  const Plane b = random_plane(rng, 80, 64);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int cx = static_cast<int>(rng.bounded(80 - 16 + 1));
+    const int cy = static_cast<int>(rng.bounded(64 - 16 + 1));
+    // Reference positions deliberately overshoot the plane on every side so
+    // the clamped out-of-bounds path is exercised alongside the fast path.
+    const int rx = static_cast<int>(rng.range(-24, 88));
+    const int ry = static_cast<int>(rng.range(-24, 72));
+    ASSERT_EQ(sad_16x16_scalar(a, cx, cy, b, rx, ry), sad_16x16_simd(a, cx, cy, b, rx, ry))
+        << "cx=" << cx << " cy=" << cy << " rx=" << rx << " ry=" << ry;
+    ASSERT_EQ(satd_16x16_scalar(a, cx, cy, b, rx, ry),
+              satd_16x16_simd(a, cx, cy, b, rx, ry))
+        << "cx=" << cx << " cy=" << cy << " rx=" << rx << " ry=" << ry;
+  }
+}
+
+TEST(KernelEquivalenceTest, SatdPredFuzz) {
+  if (!simd_available()) GTEST_SKIP() << "SIMD backend not compiled in";
+  Xoshiro256 rng(22);
+  const Plane a = random_plane(rng, 64, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    Pixel pred[16 * 16];
+    for (auto& p : pred) p = static_cast<Pixel>(rng.bounded(256));
+    const int cx = static_cast<int>(rng.bounded(64 - 16 + 1));
+    const int cy = static_cast<int>(rng.bounded(64 - 16 + 1));
+    ASSERT_EQ(satd_16x16_pred_scalar(a, cx, cy, pred),
+              satd_16x16_pred_simd(a, cx, cy, pred))
+        << "cx=" << cx << " cy=" << cy;
+  }
+}
+
+TEST(KernelEquivalenceTest, MotionCompensateFuzz) {
+  if (!simd_available()) GTEST_SKIP() << "SIMD backend not compiled in";
+  Xoshiro256 rng(23);
+  const Plane ref = random_plane(rng, 80, 64);
+  for (int trial = 0; trial < 400; ++trial) {
+    // MB origins across the whole plane (including border MBs) and motion
+    // vectors spanning all four full/half phase combinations, far enough to
+    // push the filter footprint out of bounds.
+    const int px = static_cast<int>(rng.bounded(80 - 16 + 1));
+    const int py = static_cast<int>(rng.bounded(64 - 16 + 1));
+    const MotionVector mv{static_cast<int>(rng.range(-40, 40)),
+                          static_cast<int>(rng.range(-40, 40))};
+    Pixel scalar_dst[16 * 16], simd_dst[16 * 16];
+    motion_compensate_16x16_scalar(ref, px, py, mv, scalar_dst);
+    motion_compensate_16x16_simd(ref, px, py, mv, simd_dst);
+    for (int i = 0; i < 16 * 16; ++i)
+      ASSERT_EQ(scalar_dst[i], simd_dst[i])
+          << "px=" << px << " py=" << py << " mv=(" << mv.x << "," << mv.y << ") i=" << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, TransformFuzz) {
+  if (!simd_available()) GTEST_SKIP() << "SIMD backend not compiled in";
+  Xoshiro256 rng(24);
+  for (int trial = 0; trial < 300; ++trial) {
+    int in[16], scalar_out[16], simd_out[16];
+    for (int& v : in) v = static_cast<int>(rng.range(-2048, 2048));
+    dct4x4_scalar(in, scalar_out);
+    dct4x4_simd(in, simd_out);
+    for (int i = 0; i < 16; ++i) ASSERT_EQ(scalar_out[i], simd_out[i]) << "dct i=" << i;
+    idct4x4_scalar(in, scalar_out);
+    idct4x4_simd(in, simd_out);
+    for (int i = 0; i < 16; ++i) ASSERT_EQ(scalar_out[i], simd_out[i]) << "idct i=" << i;
+    hadamard4x4_scalar(in, scalar_out);
+    hadamard4x4_simd(in, simd_out);
+    for (int i = 0; i < 16; ++i) ASSERT_EQ(scalar_out[i], simd_out[i]) << "ht i=" << i;
+  }
+}
+
 TEST(PsnrTest, IdenticalIs99AndNoisyIsFinite) {
   Frame a(32, 32), b(32, 32);
   EXPECT_EQ(psnr_y(a, a), 99.0);

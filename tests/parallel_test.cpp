@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "base/parallel.h"
@@ -101,6 +102,45 @@ TEST(ParallelFor, GlobalWrapperAndThreadCount) {
   std::atomic<int> sum{0};
   parallel_for(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
   EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, UnevenTasksAllComplete) {
+  // Work-stealing: wildly uneven cell costs (index i costs O((i%32)^2)) must
+  // still run every index exactly once and produce thread-count-independent
+  // results — light owners steal from heavy deques.
+  auto sweep = [](ThreadPool& pool) {
+    std::vector<std::uint64_t> out(300);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      const std::uint64_t reps = (i % 32) * (i % 32) * 16 + 1;
+      std::uint64_t v = i;
+      for (std::uint64_t r = 0; r < reps; ++r) v = v * 6364136223846793005ULL + 1;
+      out[i] = v;
+    });
+    return out;
+  };
+  ThreadPool serial(1), four(4), eight(8);
+  const auto a = sweep(serial);
+  EXPECT_EQ(a, sweep(four));
+  EXPECT_EQ(a, sweep(eight));
+}
+
+TEST(ParallelFor, WavefrontStyleDependenciesDoNotDeadlock) {
+  // The encoder's wavefront jobs spin-wait on earlier indices finishing.
+  // The pool's distribution guarantees the smallest unfinished index is
+  // always runnable (header comment in base/parallel.h); a chained job where
+  // index i waits for i-1 must therefore finish at any thread count.
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 64;
+    std::vector<std::atomic<int>> done(kN);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      if (i > 0)
+        while (done[i - 1].load(std::memory_order_acquire) == 0) std::this_thread::yield();
+      done[i].store(1, std::memory_order_release);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(done[i].load(), 1) << "index " << i << " with " << threads << " threads";
+  }
 }
 
 TEST(ThreadPool, ZeroThreadsClampsToOne) {

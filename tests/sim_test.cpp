@@ -4,7 +4,10 @@
 #include <sstream>
 
 #include "baselines/software_only.h"
+#include "h264/workload.h"
 #include "isa/h264_si_library.h"
+#include "jpeg/jpeg_si_library.h"
+#include "jpeg/jpeg_workload.h"
 #include "sim/executor.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -106,6 +109,101 @@ TEST(Trace, BinaryRoundTrip) {
 TEST(Trace, RejectsGarbage) {
   std::stringstream ss;
   ss << "this is not a trace";
+  EXPECT_THROW(WorkloadTrace::load(ss), std::logic_error);
+}
+
+TEST(Trace, RoundTripCarriesRuns) {
+  // v2 serializes the RLE run form: a load never rebuilds it.
+  WorkloadTrace trace = tiny_trace();
+  trace.build_runs();
+  std::stringstream ss;
+  trace.save(ss);
+  const WorkloadTrace loaded = WorkloadTrace::load(ss);
+  EXPECT_TRUE(loaded.runs_built());
+  ASSERT_EQ(loaded.instances.size(), trace.instances.size());
+  for (std::size_t i = 0; i < trace.instances.size(); ++i) {
+    ASSERT_EQ(loaded.instances[i].runs.size(), trace.instances[i].runs.size());
+    for (std::size_t r = 0; r < trace.instances[i].runs.size(); ++r) {
+      EXPECT_EQ(loaded.instances[i].runs[r].si, trace.instances[i].runs[r].si);
+      EXPECT_EQ(loaded.instances[i].runs[r].count, trace.instances[i].runs[r].count);
+    }
+  }
+  EXPECT_EQ(loaded.total_si_executions(), trace.total_si_executions());
+  EXPECT_EQ(loaded.executions_of(0), trace.executions_of(0));
+  EXPECT_EQ(loaded.executions_of(1), trace.executions_of(1));
+}
+
+TEST(Trace, SaveEncodesRunsWhenNotBuilt) {
+  // Even a trace saved before build_runs() yields a v2 file with runs.
+  const WorkloadTrace trace = tiny_trace();  // runs never built
+  std::stringstream ss;
+  trace.save(ss);
+  const WorkloadTrace loaded = WorkloadTrace::load(ss);
+  EXPECT_TRUE(loaded.runs_built());
+  ASSERT_EQ(loaded.instances[0].runs.size(), 3u);  // {0},{1},{0}
+  ASSERT_EQ(loaded.instances[1].runs.size(), 1u);  // {1,1} coalesced
+  EXPECT_EQ(loaded.instances[1].runs[0].count, 2u);
+}
+
+TEST(Trace, RejectsV1FormatWithRegenerateMessage) {
+  // A v1 file ("RTRC" magic, no serialized runs) must be rejected outright,
+  // not misparsed: the magic changed with the format.
+  std::stringstream ss;
+  const std::uint32_t v1_magic = 0x52545243;
+  ss.write(reinterpret_cast<const char*>(&v1_magic), sizeof v1_magic);
+  const std::uint32_t hot_spots = 1;  // plausible v1 payload after the magic
+  ss.write(reinterpret_cast<const char*>(&hot_spots), sizeof hot_spots);
+  try {
+    WorkloadTrace::load(ss);
+    FAIL() << "v1 trace was not rejected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("regenerate"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Trace, SerializedRunsMatchBuildRunsOnRealWorkloads) {
+  // Migration guarantee: for real traces (H.264 and JPEG) the serialized run
+  // form is exactly what build_runs() would compute from the executions.
+  const auto check = [](const WorkloadTrace& generated) {
+    std::stringstream ss;
+    generated.save(ss);
+    const WorkloadTrace loaded = WorkloadTrace::load(ss);
+    WorkloadTrace rebuilt = loaded;
+    rebuilt.build_runs();
+    ASSERT_EQ(loaded.instances.size(), rebuilt.instances.size());
+    for (std::size_t i = 0; i < loaded.instances.size(); ++i) {
+      ASSERT_EQ(loaded.instances[i].runs.size(), rebuilt.instances[i].runs.size())
+          << "instance " << i;
+      for (std::size_t r = 0; r < loaded.instances[i].runs.size(); ++r) {
+        EXPECT_EQ(loaded.instances[i].runs[r].si, rebuilt.instances[i].runs[r].si);
+        EXPECT_EQ(loaded.instances[i].runs[r].count, rebuilt.instances[i].runs[r].count);
+      }
+    }
+    EXPECT_EQ(loaded.total_si_executions(), rebuilt.total_si_executions());
+  };
+  {
+    h264::WorkloadConfig config;
+    config.frames = 3;
+    config.video.width = 96;
+    config.video.height = 64;
+    check(h264::generate_h264_workload(h264sis::build_h264_si_set(), config).trace);
+  }
+  {
+    jpeg::JpegWorkloadConfig config;
+    config.images = 2;
+    config.width = 128;
+    config.height = 96;
+    check(jpeg::generate_jpeg_workload(jpegsis::build_jpeg_si_set(), config).trace);
+  }
+}
+
+TEST(Trace, RejectsInconsistentRuns) {
+  // Runs whose counts do not sum to the execution count are corruption.
+  WorkloadTrace trace = tiny_trace();
+  trace.build_runs();
+  trace.instances[0].runs[0].count += 1;  // now sum(runs) != executions
+  std::stringstream ss;
+  trace.save(ss);
   EXPECT_THROW(WorkloadTrace::load(ss), std::logic_error);
 }
 

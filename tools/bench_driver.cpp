@@ -38,6 +38,10 @@ void usage(const char* argv0) {
                "  --baseline <path>   BENCH_SUITE.json or dir of BENCH_*.json;\n"
                "                      exit non-zero on >threshold slowdown\n"
                "  --threshold <pct>   regression budget in percent (default: 20)\n"
+               "  --refresh-baseline <path>\n"
+               "                      after a fully green run, rewrite <path>\n"
+               "                      (e.g. ci/bench_baseline.json) from this\n"
+               "                      run's BENCH_SUITE.json\n"
                "  --no-warm           skip the trace-cache pre-warm\n"
                "  --list              print the discovered reports and exit\n",
                argv0);
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   fs::path bench_dir;
   fs::path out_dir = "bench-out";
   fs::path baseline_path;
+  fs::path refresh_path;
   std::string filter;
   std::vector<fs::path> explicit_binaries;
   unsigned jobs = 0;
@@ -85,7 +90,8 @@ int main(int argc, char** argv) {
       const auto n = parse_int_strict(next_arg(i, "--threshold"), 1, 1000);
       if (!n) { std::fprintf(stderr, "--threshold: not a percentage\n"); return 2; }
       threshold = static_cast<double>(*n) / 100.0;
-    } else if (arg == "--no-warm") warm = false;
+    } else if (arg == "--refresh-baseline") refresh_path = next_arg(i, "--refresh-baseline");
+    else if (arg == "--no-warm") warm = false;
     else if (arg == "--list") list_only = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
     else if (!arg.empty() && arg[0] == '-') {
@@ -127,7 +133,10 @@ int main(int argc, char** argv) {
   options.jobs = jobs > 0 ? jobs : total_threads;
   options.jobs = std::min<unsigned>(options.jobs, binaries.size());
   // Divide the host's threads among concurrent children: jobs * per-child
-  // never oversubscribes what RISPP_THREADS / the core count granted.
+  // never oversubscribes what RISPP_THREADS / the core count granted. The
+  // per-child share is recomputed at each launch (compute_child_threads), so
+  // stragglers launched late pick up finished reports' threads.
+  options.total_threads = total_threads;
   options.threads_per_child = std::max(1u, total_threads / options.jobs);
   options.out_dir = out_dir;
 
@@ -168,6 +177,28 @@ int main(int argc, char** argv) {
     if (gate.failed) {
       std::fprintf(stderr, "perf regression gate FAILED\n");
       exit_code = 1;
+    }
+  }
+
+  if (!refresh_path.empty()) {
+    // Baseline refresh: only a fully green run may become the new reference
+    // (a failed or regressed run would bake the slowdown into the budget).
+    if (exit_code != 0) {
+      std::fprintf(stderr, "--refresh-baseline: run not green, leaving %s untouched\n",
+                   refresh_path.string().c_str());
+    } else {
+      std::error_code ec;
+      if (!refresh_path.parent_path().empty())
+        fs::create_directories(refresh_path.parent_path(), ec);
+      fs::copy_file(out_dir / "BENCH_SUITE.json", refresh_path,
+                    fs::copy_options::overwrite_existing, ec);
+      if (ec) {
+        std::fprintf(stderr, "--refresh-baseline: copy to %s failed: %s\n",
+                     refresh_path.string().c_str(), ec.message().c_str());
+        exit_code = 2;
+      } else {
+        std::printf("baseline refreshed: %s\n", refresh_path.string().c_str());
+      }
     }
   }
   return exit_code;
