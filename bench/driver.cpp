@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -67,6 +68,60 @@ std::string read_file(const std::filesystem::path& path) {
 // The records are our own fixed "key": value format (BenchPerfLog), so a
 // targeted scan beats a JSON dependency: find `"key"`, skip `: `, parse the
 // value. Good for both BENCH_<name>.json and BENCH_SUITE.json chunks.
+//
+// Hardening: because the scan is first-occurrence-wins, a duplicated key or
+// text after the closing brace would be silently (mis)accepted — and both
+// can only mean a corrupted or hand-mangled record, so they are loud errors
+// (RISPP_CHECK throws) instead.
+
+/// Rejects `text` containing `"key"` more than once (first occurrence wins
+/// in the scanners above, so a duplicate would silently shadow the rest).
+void check_no_duplicate_key(const std::string& text, const std::string& key,
+                            const std::string& context) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t first = text.find(needle);
+  if (first == std::string::npos) return;
+  RISPP_CHECK_MSG(text.find(needle, first + needle.size()) == std::string::npos,
+                  context << ": duplicate key " << needle);
+}
+
+/// Rejects anything but one balanced {...} object surrounded by whitespace —
+/// in particular trailing garbage after the closing brace (a truncated write
+/// concatenated with an older record, a merge artifact, ...).
+void check_single_json_object(const std::string& text, const std::string& context) {
+  std::size_t p = 0;
+  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
+  RISPP_CHECK_MSG(p < text.size() && text[p] == '{',
+                  context << ": expected a JSON object");
+  int depth = 0;
+  bool in_string = false;
+  std::size_t end = std::string::npos;
+  for (; p < text.size(); ++p) {
+    const char c = text[p];
+    if (in_string) {
+      if (c == '\\')
+        ++p;  // skip the escaped character
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        end = p;
+        break;
+      }
+    }
+  }
+  RISPP_CHECK_MSG(end != std::string::npos, context << ": unbalanced braces");
+  for (p = end + 1; p < text.size(); ++p)
+    RISPP_CHECK_MSG(std::isspace(static_cast<unsigned char>(text[p])),
+                    context << ": trailing garbage after the closing brace");
+}
+
 std::optional<double> find_number(const std::string& text, const std::string& key) {
   const std::string needle = "\"" + key + "\"";
   const std::size_t at = text.find(needle);
@@ -90,7 +145,12 @@ std::optional<std::string> find_string(const std::string& text, const std::strin
   return text.substr(at + 1, close - at - 1);
 }
 
-std::optional<PerfRecord> parse_perf_text(const std::string& text) {
+std::optional<PerfRecord> parse_perf_text(const std::string& text,
+                                          const std::string& context) {
+  check_single_json_object(text, context);
+  for (const char* key : {"bench", "wall_seconds", "cells", "cells_per_sec", "threads",
+                          "frames"})
+    check_no_duplicate_key(text, key, context);
   const auto bench = find_string(text, "bench");
   const auto wall = find_number(text, "wall_seconds");
   if (!bench || !wall) return std::nullopt;
@@ -118,7 +178,7 @@ std::optional<PerfRecord> collect_child_record(const std::filesystem::path& json
 }  // namespace
 
 std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path) {
-  return parse_perf_text(read_file(path));
+  return parse_perf_text(read_file(path), path.string());
 }
 
 unsigned compute_child_threads(unsigned total_threads, unsigned jobs, std::size_t unfinished) {
@@ -255,6 +315,12 @@ std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& pat
   }
   // BENCH_SUITE.json: one {...} chunk per report inside "reports": [...].
   const std::string text = read_file(path);
+  // A missing/unreadable baseline stays an *empty* map — the CLI reports
+  // that case with its own clean diagnostic; the strict checks below only
+  // police content that was actually read.
+  if (text.empty()) return baseline;
+  check_single_json_object(text, path.string());
+  check_no_duplicate_key(text, "reports", path.string());
   const std::size_t reports = text.find("\"reports\"");
   std::size_t at = reports == std::string::npos ? std::string::npos
                                                 : text.find('{', reports);
@@ -262,6 +328,10 @@ std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& pat
     const std::size_t close = text.find('}', at);
     if (close == std::string::npos) break;
     const std::string chunk = text.substr(at, close - at + 1);
+    // Duplicate keys inside one report chunk would silently shadow the scan.
+    for (const char* key :
+         {"name", "exit_code", "wall_seconds", "bench", "cells", "cells_per_sec", "threads"})
+      check_no_duplicate_key(chunk, key, path.string());
     const auto name = find_string(chunk, "name");
     const auto wall = find_number(chunk, "wall_seconds");
     if (name && wall) {

@@ -68,7 +68,10 @@ bool glob_match(const std::string& pattern, const std::string& name);
 /// pass it explicitly to run it anyway.
 std::vector<std::filesystem::path> discover_reports(const std::filesystem::path& bench_dir);
 
-/// Parses one BENCH_<name>.json; nullopt when unreadable or not a record.
+/// Parses one BENCH_<name>.json; nullopt when the expected keys are absent.
+/// Structural corruption — trailing garbage after the closing brace or a
+/// duplicated key (which the first-occurrence scan would silently shadow) —
+/// throws with a message naming the file, never parses wrong.
 std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path);
 
 /// Runs `binaries` across a bounded pool (options.jobs children at a time),
@@ -89,6 +92,8 @@ void write_suite(const std::vector<ReportResult>& results, int frames,
 
 /// Loads a baseline keyed by report name: either a BENCH_SUITE.json file or
 /// a directory of BENCH_<name>.json records (keyed by their bench name).
+/// Missing/empty files yield an empty map (the CLI reports that case);
+/// readable-but-corrupted content (trailing garbage, duplicate keys) throws.
 std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& path);
 
 struct RegressionDelta {

@@ -43,6 +43,30 @@ void BM_MoleculeMissing(benchmark::State& state) {
 }
 BENCHMARK(BM_MoleculeMissing);
 
+// In-place counterparts of the two ops above: the ratio to BM_MoleculeJoin /
+// BM_MoleculeMissing is the allocation cost the decision path no longer pays.
+void BM_MoleculeJoinInto(benchmark::State& state) {
+  const Molecule a{1, 2, 0, 4, 1, 0, 2, 3, 0, 1, 2, 0, 1};
+  const Molecule b{2, 0, 3, 1, 0, 2, 1, 0, 4, 0, 1, 2, 0};
+  Molecule acc = a;
+  for (auto _ : state) {
+    join_into(acc, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_MoleculeJoinInto);
+
+void BM_MoleculeMissingInto(benchmark::State& state) {
+  const Molecule a{1, 2, 0, 4, 1, 0, 2, 3, 0, 1, 2, 0, 1};
+  const Molecule b{2, 0, 3, 1, 0, 2, 1, 0, 4, 0, 1, 2, 0};
+  Molecule out;
+  for (auto _ : state) {
+    missing_into(out, a, b);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MoleculeMissingInto);
+
 void BM_FastestAvailable(benchmark::State& state) {
   const auto& set = h264_set();
   const SiId satd = set.find("SATD").value();
@@ -125,6 +149,53 @@ void BM_SelectMolecules(benchmark::State& state) {
   state.SetLabel(std::to_string(state.range(0)) + " ACs");
 }
 BENCHMARK(BM_SelectMolecules)->Arg(8)->Arg(16)->Arg(24);
+
+// The original O(rounds·|SIs|²·molecules·dim) greedy kept as the fuzz
+// oracle; the ratio to BM_SelectMolecules is the incremental rewrite's win.
+void BM_SelectMoleculesReference(benchmark::State& state) {
+  const auto& set = h264_set();
+  SelectionRequest req;
+  req.set = &set;
+  req.expected_executions.assign(set.si_count(), 500);
+  for (SiId si = 0; si < set.si_count(); ++si) req.hot_spot_sis.push_back(si);
+  req.container_count = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(select_molecules_reference(req));
+  state.SetLabel(std::to_string(state.range(0)) + " ACs");
+}
+BENCHMARK(BM_SelectMoleculesReference)->Arg(8)->Arg(16)->Arg(24);
+
+// The full hot-spot-entry decision path (selection + scheduling + load-queue
+// rebuild), with the decision cache off (every entry runs the pipeline) vs
+// on (every entry after the first replays the memoized result). `now` stays
+// at 0 so the port never retires its first load and the ready-atom state —
+// part of the cache key — stays fixed; static seeds keep the forecast fixed.
+void BM_HotSpotEntryDecision(benchmark::State& state) {
+  const auto& set = h264_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"ME", {sad, satd}, 8}};
+  HotSpotInstance inst;
+  inst.hot_spot = 0;
+  inst.entry_overhead = 1000;
+  trace.instances.push_back(std::move(inst));
+
+  const HefScheduler hef;
+  RtmConfig config;
+  config.container_count = 17;
+  config.scheduler = &hef;
+  config.forecast_mode = ForecastMode::kStaticSeeds;
+  config.enable_decision_cache = state.range(0) != 0;
+  RunTimeManager rtm(&set, 1, config);
+  rtm.seed_forecast(0, sad, 87'500);
+  rtm.seed_forecast(0, satd, 12'500);
+  for (auto _ : state) {
+    rtm.on_hot_spot_entry(trace, 0, 0);
+    rtm.on_hot_spot_exit(0);
+  }
+  state.SetLabel(config.enable_decision_cache ? "cached" : "uncached");
+}
+BENCHMARK(BM_HotSpotEntryDecision)->Arg(0)->Arg(1);
 
 void BM_Sad16x16(benchmark::State& state) {
   Xoshiro256 rng(1);

@@ -1,7 +1,7 @@
 #include "alg/molecule.h"
 
 #include <algorithm>
-#include <numeric>
+#include <cstring>
 
 #include "base/check.h"
 
@@ -14,24 +14,53 @@ Molecule Molecule::unit(std::size_t dimension, AtomTypeId type) {
   return u;
 }
 
+void Molecule::assign_zero(std::size_t dimension) {
+  size_ = dimension;
+  if (dimension > kInlineCapacity) heap_.resize(dimension);
+  std::fill_n(data(), dimension, AtomCount{0});
+  det_ = 0;
+  det_valid_ = true;
+}
+
+void Molecule::assign(std::span<const AtomCount> counts) {
+  size_ = counts.size();
+  if (size_ > kInlineCapacity) heap_.resize(size_);
+  std::copy(counts.begin(), counts.end(), data());
+  det_valid_ = false;
+}
+
 bool Molecule::empty() const {
-  return std::all_of(counts_.begin(), counts_.end(), [](AtomCount c) { return c == 0; });
+  const AtomCount* d = data();
+  return std::all_of(d, d + size_, [](AtomCount c) { return c == 0; });
 }
 
 unsigned Molecule::determinant() const {
-  return std::accumulate(counts_.begin(), counts_.end(), 0u);
+  if (!det_valid_) {
+    const AtomCount* d = data();
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < size_; ++i) sum += d[i];
+    det_ = sum;
+    det_valid_ = true;
+  }
+  return det_;
 }
 
 unsigned Molecule::type_count() const {
+  const AtomCount* d = data();
   return static_cast<unsigned>(
-      std::count_if(counts_.begin(), counts_.end(), [](AtomCount c) { return c != 0; }));
+      std::count_if(d, d + size_, [](AtomCount c) { return c != 0; }));
+}
+
+bool Molecule::operator==(const Molecule& rhs) const {
+  if (size_ != rhs.size_) return false;
+  return std::equal(data(), data() + size_, rhs.data());
 }
 
 std::string Molecule::to_string() const {
   std::string out = "(";
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  for (std::size_t i = 0; i < size_; ++i) {
     if (i) out += ',';
-    out += std::to_string(counts_[i]);
+    out += std::to_string(data()[i]);
   }
   out += ')';
   return out;
@@ -45,17 +74,31 @@ void check_same_dimension(const Molecule& a, const Molecule& b) {
 }  // namespace
 
 Molecule join(const Molecule& a, const Molecule& b) {
-  check_same_dimension(a, b);
-  Molecule out(a.dimension());
-  for (std::size_t i = 0; i < a.dimension(); ++i) out[i] = std::max(a[i], b[i]);
+  Molecule out = a;
+  join_into(out, b);
   return out;
 }
 
 Molecule meet(const Molecule& a, const Molecule& b) {
-  check_same_dimension(a, b);
-  Molecule out(a.dimension());
-  for (std::size_t i = 0; i < a.dimension(); ++i) out[i] = std::min(a[i], b[i]);
+  Molecule out = a;
+  meet_into(out, b);
   return out;
+}
+
+void join_into(Molecule& acc, const Molecule& m) {
+  check_same_dimension(acc, m);
+  AtomCount* dst = acc.data();
+  const AtomCount* src = m.data();
+  for (std::size_t i = 0; i < acc.size_; ++i) dst[i] = std::max(dst[i], src[i]);
+  acc.det_valid_ = false;
+}
+
+void meet_into(Molecule& acc, const Molecule& m) {
+  check_same_dimension(acc, m);
+  AtomCount* dst = acc.data();
+  const AtomCount* src = m.data();
+  for (std::size_t i = 0; i < acc.size_; ++i) dst[i] = std::min(dst[i], src[i]);
+  acc.det_valid_ = false;
 }
 
 bool leq(const Molecule& a, const Molecule& b) {
@@ -66,32 +109,73 @@ bool leq(const Molecule& a, const Molecule& b) {
 }
 
 Molecule missing(const Molecule& available, const Molecule& wanted) {
-  check_same_dimension(available, wanted);
-  Molecule out(available.dimension());
-  for (std::size_t i = 0; i < available.dimension(); ++i)
-    out[i] = wanted[i] > available[i] ? static_cast<AtomCount>(wanted[i] - available[i]) : 0;
+  Molecule out;
+  missing_into(out, available, wanted);
   return out;
+}
+
+void missing_into(Molecule& out, const Molecule& available, const Molecule& wanted) {
+  check_same_dimension(available, wanted);
+  const std::size_t n = available.dimension();
+  // Element i is written only from element i of the inputs, so `out` may
+  // alias either operand; resize before capturing the input pointers (a
+  // no-op when aliased, since the dimensions already match).
+  out.size_ = n;
+  if (n > Molecule::kInlineCapacity) out.heap_.resize(n);
+  AtomCount* dst = out.data();
+  const AtomCount* have = available.counts().data();
+  const AtomCount* want = wanted.counts().data();
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = want[i] > have[i] ? static_cast<AtomCount>(want[i] - have[i]) : 0;
+    sum += dst[i];
+  }
+  out.det_ = sum;
+  out.det_valid_ = true;
+}
+
+unsigned missing_determinant(const Molecule& available, const Molecule& wanted) {
+  check_same_dimension(available, wanted);
+  const AtomCount* have = available.counts().data();
+  const AtomCount* want = wanted.counts().data();
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < available.dimension(); ++i)
+    if (want[i] > have[i]) sum += static_cast<unsigned>(want[i] - have[i]);
+  return sum;
+}
+
+unsigned join_determinant(const Molecule& a, const Molecule& b) {
+  check_same_dimension(a, b);
+  const AtomCount* pa = a.counts().data();
+  const AtomCount* pb = b.counts().data();
+  unsigned sum = 0;
+  for (std::size_t i = 0; i < a.dimension(); ++i) sum += std::max(pa[i], pb[i]);
+  return sum;
 }
 
 Molecule sup(std::span<const Molecule> set, std::size_t dimension) {
   Molecule acc(dimension);
-  for (const Molecule& m : set) acc = join(acc, m);
+  for (const Molecule& m : set) join_into(acc, m);
   return acc;
 }
 
 Molecule inf(std::span<const Molecule> set) {
   RISPP_CHECK_MSG(!set.empty(), "inf of an empty Molecule set is unbounded");
   Molecule acc = set.front();
-  for (std::size_t i = 1; i < set.size(); ++i) acc = meet(acc, set[i]);
+  for (std::size_t i = 1; i < set.size(); ++i) meet_into(acc, set[i]);
   return acc;
 }
 
 std::vector<AtomTypeId> unit_decomposition(const Molecule& meta) {
   std::vector<AtomTypeId> units;
   units.reserve(meta.determinant());
-  for (std::size_t i = 0; i < meta.dimension(); ++i)
-    for (AtomCount k = 0; k < meta[i]; ++k) units.push_back(static_cast<AtomTypeId>(i));
+  append_unit_decomposition(meta, units);
   return units;
+}
+
+void append_unit_decomposition(const Molecule& meta, std::vector<AtomTypeId>& out) {
+  for (std::size_t i = 0; i < meta.dimension(); ++i)
+    for (AtomCount k = 0; k < meta[i]; ++k) out.push_back(static_cast<AtomTypeId>(i));
 }
 
 }  // namespace rispp

@@ -16,8 +16,19 @@
 // These five operations are the entire vocabulary of the Atom scheduling
 // problem (§4.2-4.4), so they live in their own tiny library with
 // property-based tests for the algebraic laws.
+//
+// Storage: the run-time decision path (selection, UpgradeState, RTM demand
+// accumulation) performs tens of millions of Molecule ops per sweep, so the
+// counts live in a small inline buffer sized to cover the platform atom-type
+// counts we model (H.264 has 13 atom types, JPEG fewer) — no heap allocation
+// for dimension ≤ kInlineCapacity, with a std::vector spill for larger
+// platforms. The determinant is cached and recomputed lazily; taking a
+// mutable reference via operator[] conservatively invalidates the cache.
+// The *_into / *_determinant free functions below compute lattice ops
+// in place or without materializing the result at all.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -30,38 +41,68 @@ namespace rispp {
 
 class Molecule {
  public:
+  /// Covers every platform we instantiate (H.264: 13 atom types) without
+  /// touching the heap; larger dimensions transparently spill to a vector.
+  static constexpr std::size_t kInlineCapacity = 16;
+
   Molecule() = default;
 
   /// Zero molecule (neutral element of ∪) of the given dimension.
-  explicit Molecule(std::size_t dimension) : counts_(dimension, 0) {}
+  explicit Molecule(std::size_t dimension) { assign_zero(dimension); }
 
-  Molecule(std::initializer_list<AtomCount> counts) : counts_(counts) {}
+  Molecule(std::initializer_list<AtomCount> counts) {
+    assign(std::span<const AtomCount>(counts.begin(), counts.size()));
+  }
 
-  explicit Molecule(std::vector<AtomCount> counts) : counts_(std::move(counts)) {}
+  explicit Molecule(const std::vector<AtomCount>& counts) {
+    assign(std::span<const AtomCount>(counts.data(), counts.size()));
+  }
 
   /// Unit-Molecule u_t: one instance of atom type t (eq. (1) alphabet).
   static Molecule unit(std::size_t dimension, AtomTypeId type);
 
-  std::size_t dimension() const { return counts_.size(); }
+  std::size_t dimension() const { return size_; }
   bool empty() const;  // all-zero?
 
-  AtomCount operator[](std::size_t i) const { return counts_[i]; }
-  AtomCount& operator[](std::size_t i) { return counts_[i]; }
-  std::span<const AtomCount> counts() const { return counts_; }
+  AtomCount operator[](std::size_t i) const { return data()[i]; }
+  AtomCount& operator[](std::size_t i) {
+    det_valid_ = false;  // conservative: the caller may write through the ref
+    return data()[i];
+  }
+  std::span<const AtomCount> counts() const { return {data(), size_}; }
 
-  /// Determinant |m|: total number of atoms required.
+  /// Reuse this molecule's storage as a zero molecule of `dimension`.
+  void assign_zero(std::size_t dimension);
+  /// Reuse this molecule's storage for a copy of `counts`.
+  void assign(std::span<const AtomCount> counts);
+
+  /// Determinant |m|: total number of atoms required. Cached; O(1) on the
+  /// decision path where molecules are built once and queried repeatedly.
   unsigned determinant() const;
 
   /// Number of distinct atom types with non-zero count.
   unsigned type_count() const;
 
-  bool operator==(const Molecule& rhs) const = default;
+  bool operator==(const Molecule& rhs) const;
 
   /// "m1,m2,...,mn" — used in logs and golden tests.
   std::string to_string() const;
 
  private:
-  std::vector<AtomCount> counts_;
+  friend void join_into(Molecule& acc, const Molecule& m);
+  friend void meet_into(Molecule& acc, const Molecule& m);
+  friend void missing_into(Molecule& out, const Molecule& available, const Molecule& wanted);
+
+  AtomCount* data() { return size_ <= kInlineCapacity ? inline_.data() : heap_.data(); }
+  const AtomCount* data() const {
+    return size_ <= kInlineCapacity ? inline_.data() : heap_.data();
+  }
+
+  std::size_t size_ = 0;
+  std::array<AtomCount, kInlineCapacity> inline_{};
+  std::vector<AtomCount> heap_;  // engaged only when size_ > kInlineCapacity
+  mutable unsigned det_ = 0;
+  mutable bool det_valid_ = true;  // empty molecule has |m| = 0
 };
 
 /// Join: Meta-Molecule containing the atoms required to implement both.
@@ -72,6 +113,11 @@ Molecule meet(const Molecule& a, const Molecule& b);
 inline Molecule operator|(const Molecule& a, const Molecule& b) { return join(a, b); }
 inline Molecule operator&(const Molecule& a, const Molecule& b) { return meet(a, b); }
 
+/// acc := acc ∪ m, in place (no allocation once acc has m's dimension).
+void join_into(Molecule& acc, const Molecule& m);
+/// acc := acc ∩ m, in place.
+void meet_into(Molecule& acc, const Molecule& m);
+
 /// Partial order m ≤ o iff every component is ≤. Note: !(a<=b) does NOT imply
 /// b<=a — molecules can be incomparable (paper's m2=(2,2) vs m4=(1,3)).
 bool leq(const Molecule& a, const Molecule& b);
@@ -79,6 +125,13 @@ bool leq(const Molecule& a, const Molecule& b);
 /// available ⊖ wanted: the minimal Meta-Molecule that still has to be loaded
 /// to offer `wanted` when `available` is already configured.
 Molecule missing(const Molecule& available, const Molecule& wanted);
+/// out := available ⊖ wanted, reusing out's storage.
+void missing_into(Molecule& out, const Molecule& available, const Molecule& wanted);
+/// |available ⊖ wanted| without materializing the difference.
+unsigned missing_determinant(const Molecule& available, const Molecule& wanted);
+
+/// |a ∪ b| without materializing the join.
+unsigned join_determinant(const Molecule& a, const Molecule& b);
 
 /// sup M = ∪ over the set (zero molecule if empty, per the neutral element).
 Molecule sup(std::span<const Molecule> set, std::size_t dimension);
@@ -89,5 +142,7 @@ Molecule inf(std::span<const Molecule> set);
 /// Decomposes (available ⊖ wanted) into a list of Unit-Molecule type ids —
 /// the tokens the scheduling function SF emits (§4.2 eq. (1)).
 std::vector<AtomTypeId> unit_decomposition(const Molecule& meta);
+/// Appends the decomposition to `out` instead of allocating a fresh vector.
+void append_unit_decomposition(const Molecule& meta, std::vector<AtomTypeId>& out);
 
 }  // namespace rispp

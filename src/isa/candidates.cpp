@@ -6,10 +6,11 @@
 
 namespace rispp {
 
-std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
-                                      std::span<const SiRef> selected) {
-  std::vector<SiRef> out;
-  std::vector<bool> seen_si(set.si_count(), false);
+void smaller_candidates_into(const SpecialInstructionSet& set,
+                             std::span<const SiRef> selected, std::vector<SiRef>& out) {
+  out.clear();
+  thread_local std::vector<bool> seen_si;
+  seen_si.assign(set.si_count(), false);
   for (const SiRef& sel : selected) {
     RISPP_CHECK_MSG(!seen_si[sel.si], "two selected molecules for SI " << sel.si);
     seen_si[sel.si] = true;
@@ -21,13 +22,19 @@ std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
   std::sort(out.begin(), out.end(), [](const SiRef& a, const SiRef& b) {
     return a.si != b.si ? a.si < b.si : a.mol < b.mol;
   });
+}
+
+std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
+                                      std::span<const SiRef> selected) {
+  std::vector<SiRef> out;
+  smaller_candidates_into(set, selected, out);
   return out;
 }
 
 bool candidate_is_live(const SpecialInstructionSet& set, const SiRef& candidate,
                        const Molecule& available, Cycles best_latency_for_its_si) {
   const MoleculeImpl& impl = set.si(candidate.si).molecule(candidate.mol);
-  const bool needs_atoms = missing(available, impl.atoms).determinant() > 0;
+  const bool needs_atoms = missing_determinant(available, impl.atoms) > 0;
   return needs_atoms && impl.latency < best_latency_for_its_si;
 }
 

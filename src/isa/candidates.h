@@ -25,6 +25,9 @@ namespace rispp {
 /// as `selected` holds at most one molecule per SI (checked).
 std::vector<SiRef> smaller_candidates(const SpecialInstructionSet& set,
                                       std::span<const SiRef> selected);
+/// Same, reusing `out`'s capacity (cleared first) — the UpgradeState hot path.
+void smaller_candidates_into(const SpecialInstructionSet& set,
+                             std::span<const SiRef> selected, std::vector<SiRef>& out);
 
 /// Eq. (4) predicate for one candidate: true iff the candidate still needs
 /// atoms beyond `available` and beats `best_latency_for_its_si`.

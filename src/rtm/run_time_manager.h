@@ -14,8 +14,10 @@
 // fastest *available* molecule of each SI improves step by step.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "hw/atom_container.h"
@@ -53,6 +55,13 @@ struct RtmConfig {
   /// successor prediction), without evicting anything the current hot spot
   /// demands.
   bool enable_prefetch = false;
+  /// Memoize the selection→schedule decision (DESIGN §6.2). The decision is
+  /// a pure function of (hot-spot SI list, forecast vector, ready atoms,
+  /// container budget) once the SI set, the scheduler strategy, and the
+  /// payback constant are fixed — and those are per-RTM-instance constants —
+  /// so replaying a cached decision is bit-exact by construction. Off is
+  /// only useful for A/B tests and the cache's own equivalence tests.
+  bool enable_decision_cache = true;
 };
 
 class RunTimeManager final : public ExecutionBackend {
@@ -82,11 +91,33 @@ class RunTimeManager final : public ExecutionBackend {
   const ExecutionMonitor& monitor() const { return monitor_; }
   /// Latency the SI would take if issued at the current state.
   Cycles current_latency(SiId si) const;
+  /// Decision-cache effectiveness (both the entry and the prefetch path).
+  std::uint64_t decision_cache_hits() const { return decision_cache_hits_; }
+  std::uint64_t decision_cache_misses() const { return decision_cache_misses_; }
 
  private:
   void advance_reconfig(Cycles now);
   void start_pending_loads(Cycles now);
   void compute_prefetch();
+
+  /// One memoized decision: the key (everything the selection→schedule
+  /// pipeline reads that varies at run time) and the result. Schedule::steps
+  /// are not kept — the RTM only replays the atom load sequence.
+  struct DecisionEntry {
+    std::vector<SiId> sis;
+    std::vector<std::uint64_t> forecast;
+    Molecule ready;
+    unsigned budget = 0;
+    std::vector<SiRef> selection;
+    std::vector<AtomTypeId> loads;
+  };
+  /// Runs selection + scheduling for (sis, forecast, current ready atoms,
+  /// budget), or replays the memoized result verbatim on a key match. The
+  /// returned reference lives in the cache: it is invalidated by the next
+  /// decide() call, so consume it before any path that may decide again.
+  const DecisionEntry& decide(const std::vector<SiId>& sis,
+                              const std::vector<std::uint64_t>& forecast,
+                              unsigned budget);
 
   const SpecialInstructionSet* set_;
   RtmConfig config_;
@@ -108,6 +139,19 @@ class RunTimeManager final : public ExecutionBackend {
   bool prefetch_computed_ = false;
   Molecule prefetch_demand_;                    // sup of the prefetch selection
   std::vector<Cycles> type_last_used_;   // LRU stamps per atom type
+
+  // Decision cache (see decide()). Buckets hold full keys: a hash collision
+  // degrades to a linear compare, never to a wrong decision. Cleared
+  // wholesale when kDecisionCacheCapacity entries accumulate (steady-state
+  // workloads sit far below it; the bound only guards pathological traces).
+  static constexpr std::size_t kDecisionCacheCapacity = 4096;
+  std::unordered_map<std::uint64_t, std::vector<DecisionEntry>> decision_cache_;
+  std::size_t decision_cache_size_ = 0;
+  std::uint64_t decision_cache_hits_ = 0;
+  std::uint64_t decision_cache_misses_ = 0;
+  DecisionEntry uncached_decision_;      // result slot when the cache is off
+  std::vector<std::uint64_t> oracle_forecast_;  // per-entry scratch (kOracle)
+  std::vector<SiId> prefetch_sis_;              // per-entry scratch (prefetch)
 
   // Latency cache, invalidated when ready atoms change.
   std::vector<MoleculeId> cached_molecule_;  // per SiId

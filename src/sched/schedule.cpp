@@ -43,19 +43,52 @@ bool is_valid_schedule(const ScheduleRequest& request, const Schedule& schedule)
   return covered == schedule.loads.size();
 }
 
+// One UpgradeState exists per AtomScheduler::schedule() call and they never
+// nest, so a single per-thread slot recycles the vector capacity; a second
+// live instance on the same thread (tests constructing states side by side)
+// simply falls back to owning fresh vectors.
+struct UpgradeScratch {
+  std::vector<Cycles> best_latency;
+  std::vector<SiRef> candidates;
+  bool in_use = false;
+};
+
+namespace {
+UpgradeScratch& upgrade_scratch() {
+  thread_local UpgradeScratch scratch;
+  return scratch;
+}
+}  // namespace
+
 UpgradeState::UpgradeState(const ScheduleRequest& request)
     : request_(&request), set_(request.set), available_(request.available) {
   RISPP_CHECK(set_ != nullptr);
   RISPP_CHECK(available_.dimension() == set_->atom_type_count());
   RISPP_CHECK(request.expected_executions.size() == set_->si_count());
 
+  UpgradeScratch& pool = upgrade_scratch();
+  if (!pool.in_use) {
+    pool.in_use = true;
+    scratch_ = &pool;
+    best_latency_ = std::move(pool.best_latency);
+    candidates_ = std::move(pool.candidates);
+  }
+
   // Figure 6 lines 6-9: initialize bestLatency from what is available now.
-  best_latency_.resize(set_->si_count(), 0);
+  best_latency_.assign(set_->si_count(), 0);
   for (SiId si = 0; si < set_->si_count(); ++si)
     best_latency_[si] = set_->fastest_available_latency(si, available_);
 
   // Figure 6 lines 1-5 / eq. (3): all smaller molecules of the selected SIs.
-  candidates_ = smaller_candidates(*set_, request.selected);
+  smaller_candidates_into(*set_, request.selected, candidates_);
+}
+
+UpgradeState::~UpgradeState() {
+  if (scratch_ != nullptr) {
+    scratch_->best_latency = std::move(best_latency_);
+    scratch_->candidates = std::move(candidates_);
+    scratch_->in_use = false;
+  }
 }
 
 void UpgradeState::clean() {
@@ -89,18 +122,17 @@ std::vector<SiRef> UpgradeState::live_candidates_of(SiId si) {
 
 void UpgradeState::commit(const SiRef& molecule) {
   const Molecule& atoms = set_->si(molecule.si).molecule(molecule.mol).atoms;
-  const Molecule delta = missing(available_, atoms);
-  RISPP_CHECK_MSG(delta.determinant() > 0, "committing an already-available molecule");
+  missing_into(delta_, available_, atoms);
+  RISPP_CHECK_MSG(delta_.determinant() > 0, "committing an already-available molecule");
 
   UpgradeStep step;
   step.molecule = molecule;
   step.first_load = schedule_.loads.size();
-  const auto units = unit_decomposition(delta);
-  schedule_.loads.insert(schedule_.loads.end(), units.begin(), units.end());
-  step.load_count = units.size();
+  append_unit_decomposition(delta_, schedule_.loads);
+  step.load_count = schedule_.loads.size() - step.first_load;
   schedule_.steps.push_back(step);
 
-  available_ = join(available_, atoms);
+  join_into(available_, atoms);
   best_latency_[molecule.si] =
       std::min(best_latency_[molecule.si], set_->latency(molecule));
   dirty_ = true;
@@ -116,7 +148,7 @@ std::uint64_t UpgradeState::expected_executions(SiId si) const {
 
 unsigned UpgradeState::additional_atoms(const SiRef& candidate) const {
   const Molecule& atoms = set_->si(candidate.si).molecule(candidate.mol).atoms;
-  return missing(available_, atoms).determinant();
+  return missing_determinant(available_, atoms);
 }
 
 std::uint64_t si_importance(const ScheduleRequest& request, const SiRef& selected) {

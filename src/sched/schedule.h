@@ -74,10 +74,17 @@ class AtomScheduler {
   virtual Schedule schedule(const ScheduleRequest& request) const = 0;
 };
 
+struct UpgradeScratch;  // per-thread vector capacity pool (schedule.cpp)
+
 /// Shared molecule-upgrade bookkeeping used by all strategies.
+/// Draws its vector storage from a per-thread scratch pool while alive, so
+/// the one-UpgradeState-per-schedule() pattern stops allocating once warm.
 class UpgradeState {
  public:
   explicit UpgradeState(const ScheduleRequest& request);
+  ~UpgradeState();
+  UpgradeState(const UpgradeState&) = delete;
+  UpgradeState& operator=(const UpgradeState&) = delete;
 
   /// Live candidates after eq. (4) cleaning (cleans lazily on access).
   const std::vector<SiRef>& live_candidates();
@@ -106,10 +113,12 @@ class UpgradeState {
   const ScheduleRequest* request_;
   const SpecialInstructionSet* set_;
   Molecule available_;
+  Molecule delta_;                     // commit() scratch: a ⊖ m
   std::vector<Cycles> best_latency_;   // per SiId
   std::vector<SiRef> candidates_;      // M' progressively cleaned to M''
   bool dirty_ = true;
   Schedule schedule_;
+  UpgradeScratch* scratch_ = nullptr;  // owning pool slot, returned in dtor
 };
 
 /// Importance of a selected SI (used by FSFR/ASF to order the SIs):

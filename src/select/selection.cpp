@@ -9,11 +9,11 @@ namespace rispp {
 unsigned selection_atom_count(const SpecialInstructionSet& set,
                               std::vector<SiRef> const& selection) {
   Molecule acc(set.atom_type_count());
-  for (const SiRef& s : selection) acc = join(acc, set.si(s.si).molecule(s.mol).atoms);
+  for (const SiRef& s : selection) join_into(acc, set.si(s.si).molecule(s.mol).atoms);
   return acc.determinant();
 }
 
-std::vector<SiRef> select_molecules(const SelectionRequest& request) {
+std::vector<SiRef> select_molecules_reference(const SelectionRequest& request) {
   const SpecialInstructionSet& set = *request.set;
   RISPP_CHECK(request.expected_executions.size() == set.si_count());
 
@@ -44,9 +44,9 @@ std::vector<SiRef> select_molecules(const SelectionRequest& request) {
         for (SiId other : request.hot_spot_sis) {
           if (other == si) continue;
           if (chosen[other] != kSoftwareMolecule)
-            trial = join(trial, set.si(other).molecule(chosen[other]).atoms);
+            join_into(trial, set.si(other).molecule(chosen[other]).atoms);
         }
-        trial = join(trial, s.molecules[m].atoms);
+        join_into(trial, s.molecules[m].atoms);
         if (trial.determinant() > request.container_count) continue;  // unaffordable
 
         const unsigned growth = trial.determinant() >= sup_now.determinant()
@@ -72,6 +72,114 @@ std::vector<SiRef> select_molecules(const SelectionRequest& request) {
     if (!found) break;
     chosen[best_si] = best_mol;
     sup_now = best_sup;
+  }
+
+  std::vector<SiRef> selection;
+  for (SiId si : request.hot_spot_sis)
+    if (chosen[si] != kSoftwareMolecule) selection.push_back(SiRef{si, chosen[si]});
+  RISPP_CHECK(selection_atom_count(set, selection) <= request.container_count);
+  return selection;
+}
+
+namespace {
+
+/// Per-thread scratch so the hot path allocates nothing once warmed up:
+/// molecules of dimension <= Molecule::kInlineCapacity live entirely in the
+/// inline buffers, and the vectors only grow when a larger hot spot appears.
+struct SelectionScratch {
+  std::vector<MoleculeId> chosen;
+  // pre[k] = join of chosen molecules at positions < k; suf[k] = at >= k.
+  std::vector<Molecule> pre;
+  std::vector<Molecule> suf;
+  Molecule excl;  // join of all positions != k, rebuilt per trial position
+};
+
+bool has_duplicate_sis(const std::vector<SiId>& sis) {
+  for (std::size_t i = 0; i < sis.size(); ++i)
+    for (std::size_t j = i + 1; j < sis.size(); ++j)
+      if (sis[i] == sis[j]) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<SiRef> select_molecules(const SelectionRequest& request) {
+  const SpecialInstructionSet& set = *request.set;
+  RISPP_CHECK(request.expected_executions.size() == set.si_count());
+
+  // The reference trial excludes the swapped SI by *value*; the prefix/suffix
+  // decomposition excludes by position. Identical only when ids are unique —
+  // which every RTM-produced request satisfies.
+  if (has_duplicate_sis(request.hot_spot_sis)) return select_molecules_reference(request);
+
+  const std::size_t n = request.hot_spot_sis.size();
+  const std::size_t dim = set.atom_type_count();
+
+  thread_local SelectionScratch scratch;
+  scratch.chosen.assign(set.si_count(), kSoftwareMolecule);
+  std::vector<MoleculeId>& chosen = scratch.chosen;
+  if (scratch.pre.size() < n + 1) scratch.pre.resize(n + 1);
+  if (scratch.suf.size() < n + 1) scratch.suf.resize(n + 1);
+
+  unsigned sup_now_det = 0;  // |sup of chosen| — all the reference reads of sup_now
+
+  for (;;) {
+    // Exclusive sups for this round: excl(k) = pre[k] ∪ suf[k+1].
+    scratch.pre[0].assign_zero(dim);
+    for (std::size_t k = 0; k < n; ++k) {
+      scratch.pre[k + 1] = scratch.pre[k];
+      const MoleculeId c = chosen[request.hot_spot_sis[k]];
+      if (c != kSoftwareMolecule)
+        join_into(scratch.pre[k + 1], set.si(request.hot_spot_sis[k]).molecule(c).atoms);
+    }
+    scratch.suf[n].assign_zero(dim);
+    for (std::size_t k = n; k-- > 0;) {
+      scratch.suf[k] = scratch.suf[k + 1];
+      const MoleculeId c = chosen[request.hot_spot_sis[k]];
+      if (c != kSoftwareMolecule)
+        join_into(scratch.suf[k], set.si(request.hot_spot_sis[k]).molecule(c).atoms);
+    }
+
+    bool found = false;
+    long double best_density = 0.0L;
+    SiId best_si = 0;
+    MoleculeId best_mol = 0;
+    unsigned best_sup_det = 0;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      const SiId si = request.hot_spot_sis[k];
+      const SpecialInstruction& s = set.si(si);
+      const Cycles current = s.latency(chosen[si]);
+      const std::uint64_t execs = request.expected_executions[si];
+      scratch.excl = scratch.pre[k];
+      join_into(scratch.excl, scratch.suf[k + 1]);
+      for (MoleculeId m = 0; m < s.molecules.size(); ++m) {
+        if (s.molecules[m].latency >= current) continue;  // not an improvement
+        // |excl ∪ candidate| — the reference's trial determinant, O(dim).
+        const unsigned trial_det = join_determinant(scratch.excl, s.molecules[m].atoms);
+        if (trial_det > request.container_count) continue;  // unaffordable
+
+        const unsigned growth = trial_det >= sup_now_det ? trial_det - sup_now_det : 0;
+        const long double profit =
+            static_cast<long double>(execs) *
+            static_cast<long double>(current - s.molecules[m].latency);
+        if (profit <= 0.0L) continue;  // never burn area on unexecuted SIs
+        const long double density =
+            profit / static_cast<long double>(growth == 0 ? 1 : growth);
+        // Zero-growth improvements dominate everything else.
+        const long double score = growth == 0 ? density * 1e9L : density;
+        if (!found || score > best_density) {
+          found = true;
+          best_density = score;
+          best_si = si;
+          best_mol = m;
+          best_sup_det = trial_det;
+        }
+      }
+    }
+    if (!found) break;
+    chosen[best_si] = best_mol;
+    sup_now_det = best_sup_det;
   }
 
   std::vector<SiRef> selection;

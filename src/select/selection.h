@@ -37,7 +37,21 @@ struct SelectionRequest {
 /// Returns at most one SiRef per hot-spot SI; SIs that did not get hardware
 /// under the budget are absent (they stay on the trap path).
 /// Postcondition: |sup of returned molecules| <= container_count.
+///
+/// Incremental implementation: per round it materializes, for every hot-spot
+/// SI position, the exclusive sup (join of all *other* SIs' chosen molecules)
+/// from prefix/suffix joins, so each swap trial costs O(dim) instead of
+/// re-joining the whole selection — O(rounds·|SIs|·molecules·dim) total.
+/// Bit-exact with select_molecules_reference for every input: join is an
+/// elementwise max (grouping-independent), the trial determinant, growth,
+/// profit, and score expressions are verbatim those of the reference, and
+/// the trial iteration order is unchanged. Inputs whose hot_spot_sis contain
+/// duplicate ids (the reference excludes by *value*) take the reference path.
 std::vector<SiRef> select_molecules(const SelectionRequest& request);
+
+/// The original O(rounds·|SIs|²·molecules·dim) greedy, kept as the oracle for
+/// fuzz-equivalence tests and as the fallback for duplicate hot_spot_sis.
+std::vector<SiRef> select_molecules_reference(const SelectionRequest& request);
 
 /// NA of a selection: |sup M| — the Atom Containers it occupies.
 unsigned selection_atom_count(const SpecialInstructionSet& set,

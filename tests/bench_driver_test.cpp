@@ -259,6 +259,98 @@ TEST(RunReports, SuiteJsonRoundTripsThroughLoadBaseline) {
   fs::remove_all(suite.dir);
 }
 
+// --- scanner hardening: corrupted records are loud errors, never misreads --
+
+/// A syntactically complete suite file with one report entry, produced by the
+/// real writer so the happy path stays a true round trip.
+fs::path write_minimal_suite(const fs::path& dir, const std::string& extra = "") {
+  fs::create_directories(dir);
+  const fs::path path = dir / "BENCH_SUITE.json";
+  std::ofstream out(path);
+  out << "{\n  \"frames\": 8,\n  \"jobs\": 1,\n  \"threads_per_child\": 1,\n"
+         "  \"reports\": [\n"
+         "    {\"name\": \"alpha\", \"exit_code\": 0, \"wall_seconds\": 1.5,"
+         " \"bench\": \"alpha\", \"cells\": 4, \"cells_per_sec\": 2.7}\n  ]\n}\n"
+      << extra;
+  return path;
+}
+
+TEST(ScannerHardening, TrailingGarbageAfterSuiteObjectThrows) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_trailing";
+  fs::remove_all(dir);
+  const fs::path path = write_minimal_suite(dir, "{\"stale\": 1}\n");
+  EXPECT_THROW(load_baseline(path), std::logic_error);
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, CleanSuiteStillRoundTrips) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_clean";
+  fs::remove_all(dir);
+  const fs::path path = write_minimal_suite(dir);
+  const auto baseline = load_baseline(path);
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(baseline.at("alpha").wall_seconds, 1.5);
+  EXPECT_EQ(baseline.at("alpha").cells_per_sec, 2.7);
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, DuplicateKeyInSuiteChunkThrows) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_dup_chunk";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "BENCH_SUITE.json";
+  // wall_seconds appears twice in one report chunk: the first-occurrence scan
+  // would silently pick 0.1 and the gate would compare against the wrong run.
+  std::ofstream(path) << "{\n  \"reports\": [\n"
+                         "    {\"name\": \"alpha\", \"wall_seconds\": 0.1, "
+                         "\"wall_seconds\": 9.9}\n  ]\n}\n";
+  EXPECT_THROW(load_baseline(path), std::logic_error);
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, DuplicateKeyInPerfRecordThrows) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_dup_record";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "BENCH_dup.json";
+  std::ofstream(path) << "{\"bench\": \"dup\", \"bench\": \"shadow\", "
+                         "\"wall_seconds\": 1.0}\n";
+  EXPECT_THROW(parse_perf_record(path), std::logic_error);
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, TrailingGarbageAfterPerfRecordThrows) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_trailing_record";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "BENCH_two.json";
+  // Two concatenated records (e.g. a botched append instead of O_TRUNC).
+  std::ofstream(path) << "{\"bench\": \"two\", \"wall_seconds\": 1.0}\n"
+                         "{\"bench\": \"two\", \"wall_seconds\": 2.0}\n";
+  EXPECT_THROW(parse_perf_record(path), std::logic_error);
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, QuotedBracesAndEscapesDoNotConfuseTheObjectCheck) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_scan_quoted";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "BENCH_braces.json";
+  std::ofstream(path) << "{\"bench\": \"br{ce}s\\\"\", \"wall_seconds\": 1.0}\n";
+  const auto record = parse_perf_record(path);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->bench, "br{ce}s\\");  // find_string stops at the escape
+  fs::remove_all(dir);
+}
+
+TEST(ScannerHardening, MissingBaselineFileIsEmptyNotAnError) {
+  // The CLI turns an empty map into its own clean "empty or unreadable"
+  // diagnostic (exit 2); the strict checks only police content that exists.
+  const auto baseline =
+      load_baseline(fs::path(::testing::TempDir()) / "rispp_scan_missing.json");
+  EXPECT_TRUE(baseline.empty());
+}
+
 TEST(LoadBaseline, ReadsADirectoryOfPerfRecords) {
   const fs::path dir = fs::path(::testing::TempDir()) / "rispp_baseline_dir";
   fs::remove_all(dir);

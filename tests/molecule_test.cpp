@@ -161,5 +161,103 @@ TEST_P(MoleculeLatticeLaws, SemigroupAndLatticeProperties) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, MoleculeLatticeLaws,
                          ::testing::Range<std::uint64_t>(1, 65));
 
+// ---- Allocation-free in-place operations and the determinant cache -------
+
+class MoleculeInPlaceOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoleculeInPlaceOps, InPlaceOpsMatchAllocatingOnes) {
+  Xoshiro256 rng(GetParam());
+  // Span both storage modes: dims beyond kInlineCapacity use the heap spill.
+  const std::size_t dim = 1 + rng.bounded(2 * Molecule::kInlineCapacity);
+  const Molecule a = random_molecule(rng, dim, 6);
+  const Molecule b = random_molecule(rng, dim, 6);
+
+  Molecule acc = a;
+  join_into(acc, b);
+  EXPECT_EQ(acc, join(a, b));
+  EXPECT_EQ(acc.determinant(), join(a, b).determinant());
+
+  acc = a;
+  meet_into(acc, b);
+  EXPECT_EQ(acc, meet(a, b));
+
+  Molecule out;
+  missing_into(out, a, b);
+  EXPECT_EQ(out, missing(a, b));
+  EXPECT_EQ(out.determinant(), missing(a, b).determinant());
+  EXPECT_EQ(missing_determinant(a, b), missing(a, b).determinant());
+  EXPECT_EQ(join_determinant(a, b), join(a, b).determinant());
+
+  // missing_into must tolerate aliasing with either input.
+  Molecule alias = a;
+  missing_into(alias, alias, b);
+  EXPECT_EQ(alias, missing(a, b));
+  alias = b;
+  missing_into(alias, a, alias);
+  EXPECT_EQ(alias, missing(a, b));
+
+  // append_unit_decomposition appends the same type sequence that
+  // unit_decomposition returns.
+  std::vector<AtomTypeId> appended{42};
+  append_unit_decomposition(a, appended);
+  const auto units = unit_decomposition(a);
+  ASSERT_EQ(appended.size(), units.size() + 1);
+  EXPECT_EQ(appended.front(), 42u);
+  for (std::size_t i = 0; i < units.size(); ++i) EXPECT_EQ(appended[i + 1], units[i]);
+}
+
+TEST_P(MoleculeInPlaceOps, CachedDeterminantSurvivesEveryMutationPath) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t dim = 1 + rng.bounded(2 * Molecule::kInlineCapacity);
+  auto fresh_sum = [](const Molecule& m) {
+    unsigned s = 0;
+    for (std::size_t i = 0; i < m.dimension(); ++i) s += m.counts()[i];
+    return s;
+  };
+
+  Molecule m = random_molecule(rng, dim, 6);
+  EXPECT_EQ(m.determinant(), fresh_sum(m));
+
+  // Mutation through operator[] must invalidate the cache.
+  m.determinant();  // prime the cache
+  m[rng.bounded(dim)] = static_cast<AtomCount>(rng.bounded(9));
+  EXPECT_EQ(m.determinant(), fresh_sum(m));
+
+  // Reuse of the same storage with new contents.
+  m.determinant();
+  m.assign_zero(dim);
+  EXPECT_EQ(m.determinant(), 0u);
+  const Molecule src = random_molecule(rng, dim, 6);
+  m.assign(src.counts());
+  EXPECT_EQ(m.determinant(), fresh_sum(src));
+
+  // In-place lattice ops.
+  Molecule other = random_molecule(rng, dim, 6);
+  m.determinant();
+  join_into(m, other);
+  EXPECT_EQ(m.determinant(), fresh_sum(m));
+  m.determinant();
+  meet_into(m, other);
+  EXPECT_EQ(m.determinant(), fresh_sum(m));
+
+  // Copies and moves carry a consistent cache state with them.
+  Molecule copy = m;
+  copy.determinant();
+  copy[0] = static_cast<AtomCount>(copy.counts()[0] + 1);
+  EXPECT_EQ(copy.determinant(), fresh_sum(copy));
+  EXPECT_EQ(m.determinant(), fresh_sum(m));  // the original is untouched
+
+  // operator== ignores the cache: equal contents compare equal regardless
+  // of which instance has a primed cache.
+  Molecule x = random_molecule(rng, dim, 6);
+  Molecule y = x;
+  x.determinant();           // x primed
+  y[0] = y.counts()[0];      // y invalidated, same contents
+  EXPECT_EQ(x, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MoleculeInPlaceOps,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
 }  // namespace
 }  // namespace rispp

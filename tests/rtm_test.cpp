@@ -184,6 +184,58 @@ TEST(RunTimeManager, PrefetchStartsNextHotSpotsAtomsEarly) {
   EXPECT_LE(cycles[1], cycles[0]);
 }
 
+TEST(RunTimeManager, PrefetchForecastSourceFollowsForecastMode) {
+  // compute_prefetch picks the forecast that predicts the successor hot spot
+  // per ForecastMode: the seeds under kStaticSeeds, the monitor under
+  // kMonitored — and under kOracle too, deliberately: the oracle only knows
+  // the *current* instance's exact counts, so oracle prefetch falls back to
+  // the monitored forecast. This pins the once-silent ternary fall-through
+  // as documented behavior. Observable: every prefetch decision is one extra
+  // decide() call in the decision-cache counters.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId dct = set.find("(I)DCT").value();
+  // The EE hot spot is deliberately id 0: the successor table defaults to 0,
+  // so the only non-self successor prediction in this trace is "after ME
+  // comes EE", observed at instance 1 and acted on during instance 2. That
+  // makes instance 2 the single prefetch opportunity — one decide() call,
+  // cleanly attributable.
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"EE", {dct}, 8}, HotSpotInfo{"ME", {sad}, 8}};
+  trace.instances.push_back(HotSpotInstance{1, std::vector<SiId>(8'000, sad), 1000});
+  trace.instances.push_back(HotSpotInstance{0, std::vector<SiId>(3'000, dct), 1000});
+  // Long enough for the port to drain and prefetch for the predicted
+  // successor (EE).
+  trace.instances.push_back(HotSpotInstance{1, std::vector<SiId>(20'000, sad), 1000});
+
+  const auto decisions_with = [&](ForecastMode mode, bool prefetch) {
+    HefScheduler hef;
+    RtmConfig config = config_with(&hef, 14);
+    config.enable_prefetch = prefetch;
+    config.forecast_mode = mode;
+    RunTimeManager rtm(&set, 2, config);
+    rtm.seed_forecast(1, sad, 8'000);
+    // EE is deliberately NOT seeded: a prefetch that consults the seeds
+    // sees an all-zero forecast for it and decides nothing, while one
+    // consulting the monitor sees the ~3000 DCTs measured at instance 1.
+    (void)run_trace(trace, rtm);
+    return rtm.decision_cache_hits() + rtm.decision_cache_misses();
+  };
+
+  // Without prefetch: exactly one decision per hot-spot entry, every mode.
+  for (const ForecastMode mode :
+       {ForecastMode::kMonitored, ForecastMode::kStaticSeeds, ForecastMode::kOracle})
+    ASSERT_EQ(decisions_with(mode, false), 3u);
+
+  // With prefetch: instance 2 prefetches for EE only when the mode's
+  // forecast source knows about it — the monitor does, the seeds do not.
+  EXPECT_EQ(decisions_with(ForecastMode::kMonitored, true), 4u);
+  EXPECT_EQ(decisions_with(ForecastMode::kOracle, true), 4u)
+      << "oracle prefetch must fall back to the monitored forecast";
+  EXPECT_EQ(decisions_with(ForecastMode::kStaticSeeds, true), 3u)
+      << "static-seeds prefetch must consult the seeds, not the monitor";
+}
+
 TEST(Molen, NoIntermediateAcceleration) {
   // Until the full selected molecule is loaded, Molen runs in software even
   // though a subset of its atoms is configured.

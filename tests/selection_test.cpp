@@ -4,6 +4,7 @@
 
 #include "isa/h264_si_library.h"
 #include "base/prng.h"
+#include "jpeg/jpeg_si_library.h"
 #include "select/optimal.h"
 #include "select/selection.h"
 
@@ -131,6 +132,70 @@ TEST(Selection, GreedyMatchesExhaustiveOptimumOnRandomInstances) {
     if (greedy >= optimal * 0.95L - 1e-6L) ++within_five_percent;
   }
   EXPECT_GE(within_five_percent, kTrials - 2);
+}
+
+TEST(Selection, IncrementalMatchesReferenceOnRandomInstances) {
+  // select_molecules is the incremental (prefix/suffix-join) rewrite of the
+  // greedy algorithm; select_molecules_reference is the original, kept as
+  // the oracle. Equivalence must be exact — the same SiRef sequence, not
+  // merely the same benefit — because replay bit-exactness depends on it.
+  // Duplicate hot_spot_sis entries are deliberately generated: the
+  // incremental path must detect them and fall back to the reference
+  // (positional vs by-value exclusion would otherwise diverge).
+  const auto h264 = h264sis::build_h264_si_set();
+  const auto jpeg = jpegsis::build_jpeg_si_set();
+  Xoshiro256 rng(97);
+  int duplicate_instances = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const SpecialInstructionSet& set = (trial % 2 == 0) ? h264 : jpeg;
+    SelectionRequest req;
+    req.set = &set;
+    req.expected_executions.assign(set.si_count(), 0);
+    const std::size_t n = 1 + rng.bounded(set.si_count() + 2);
+    for (std::size_t k = 0; k < n; ++k) {
+      const SiId si = static_cast<SiId>(rng.bounded(set.si_count()));
+      req.hot_spot_sis.push_back(si);  // duplicates intentionally possible
+      req.expected_executions[si] = rng.bounded(50'000);  // may stay zero
+    }
+    std::vector<SiId> sorted = req.hot_spot_sis;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      ++duplicate_instances;
+    req.container_count = static_cast<unsigned>(rng.bounded(25));
+
+    const auto fast = select_molecules(req);
+    const auto reference = select_molecules_reference(req);
+    ASSERT_EQ(fast, reference) << "trial " << trial;
+  }
+  // The generator must actually exercise the duplicate-SIs fallback.
+  EXPECT_GT(duplicate_instances, 50);
+}
+
+TEST(Selection, IncrementalStaysWithinOptimalOnSmallRandomInstances) {
+  // Cross-check the incremental path against the exhaustive optimum too
+  // (the reference-equivalence above makes this transitive, but a direct
+  // bound keeps the property visible if the reference ever changes).
+  const auto set = h264sis::build_h264_si_set();
+  Xoshiro256 rng(131);
+  const std::vector<std::string> pool{"SAD", "LF_BS4", "(I)HT 4x4", "IPred HDC",
+                                      "IPred VDC", "(I)HT 2x2"};
+  for (int trial = 0; trial < 20; ++trial) {
+    SelectionRequest req;
+    req.set = &set;
+    req.expected_executions.assign(set.si_count(), 0);
+    for (int k = 0; k < 3; ++k) {
+      const SiId si = set.find(pool[rng.bounded(pool.size())]).value();
+      if (std::find(req.hot_spot_sis.begin(), req.hot_spot_sis.end(), si) !=
+          req.hot_spot_sis.end())
+        continue;
+      req.hot_spot_sis.push_back(si);
+      req.expected_executions[si] = 1 + rng.bounded(30'000);
+    }
+    req.container_count = 2 + static_cast<unsigned>(rng.bounded(12));
+    const long double greedy = selection_benefit(req, select_molecules(req));
+    const long double optimal = selection_benefit(req, select_molecules_optimal(req));
+    EXPECT_LE(greedy, optimal + 1e-6L) << "trial " << trial;
+  }
 }
 
 TEST(Selection, OptimalSearchRefusesHugeInstances) {
