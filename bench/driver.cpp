@@ -8,7 +8,9 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -18,6 +20,7 @@
 
 #include "base/check.h"
 #include "base/table.h"
+#include "base/trace_event.h"
 
 namespace rispp::bench {
 
@@ -85,18 +88,12 @@ void check_no_duplicate_key(const std::string& text, const std::string& key,
                   context << ": duplicate key " << needle);
 }
 
-/// Rejects anything but one balanced {...} object surrounded by whitespace —
-/// in particular trailing garbage after the closing brace (a truncated write
-/// concatenated with an older record, a merge artifact, ...).
-void check_single_json_object(const std::string& text, const std::string& context) {
-  std::size_t p = 0;
-  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
-  RISPP_CHECK_MSG(p < text.size() && text[p] == '{',
-                  context << ": expected a JSON object");
+/// Index of the '}' closing the object whose '{' is at `text[open]`,
+/// honoring strings and escapes; npos when unbalanced.
+std::size_t balanced_object_end(const std::string& text, std::size_t open) {
   int depth = 0;
   bool in_string = false;
-  std::size_t end = std::string::npos;
-  for (; p < text.size(); ++p) {
+  for (std::size_t p = open; p < text.size(); ++p) {
     const char c = text[p];
     if (in_string) {
       if (c == '\\')
@@ -110,12 +107,21 @@ void check_single_json_object(const std::string& text, const std::string& contex
     } else if (c == '{') {
       ++depth;
     } else if (c == '}') {
-      if (--depth == 0) {
-        end = p;
-        break;
-      }
+      if (--depth == 0) return p;
     }
   }
+  return std::string::npos;
+}
+
+/// Rejects anything but one balanced {...} object surrounded by whitespace —
+/// in particular trailing garbage after the closing brace (a truncated write
+/// concatenated with an older record, a merge artifact, ...).
+void check_single_json_object(const std::string& text, const std::string& context) {
+  std::size_t p = 0;
+  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
+  RISPP_CHECK_MSG(p < text.size() && text[p] == '{',
+                  context << ": expected a JSON object");
+  const std::size_t end = balanced_object_end(text, p);
   RISPP_CHECK_MSG(end != std::string::npos, context << ": unbalanced braces");
   for (p = end + 1; p < text.size(); ++p)
     RISPP_CHECK_MSG(std::isspace(static_cast<unsigned char>(text[p])),
@@ -164,6 +170,41 @@ std::optional<PerfRecord> parse_perf_text(const std::string& text,
   return record;
 }
 
+/// Scans the flat `"name": number` pairs of one metrics subobject
+/// (text[open] == '{', text[close] == its '}') into `out`. Registry names
+/// never contain escapes, so the key scan is a plain quote-to-quote read.
+void parse_flat_metrics(const std::string& text, std::size_t open, std::size_t close,
+                        const std::string& context, std::map<std::string, double>& out) {
+  std::size_t p = open + 1;
+  const auto skip_ws = [&] {
+    while (p < close && std::isspace(static_cast<unsigned char>(text[p]))) ++p;
+  };
+  for (;;) {
+    skip_ws();
+    if (p >= close) break;
+    if (text[p] == ',') {
+      ++p;
+      continue;
+    }
+    RISPP_CHECK_MSG(text[p] == '"', context << ": expected a quoted metric name");
+    const std::size_t key_end = text.find('"', p + 1);
+    RISPP_CHECK_MSG(key_end != std::string::npos && key_end < close,
+                    context << ": unterminated metric name");
+    const std::string key = text.substr(p + 1, key_end - p - 1);
+    p = key_end + 1;
+    skip_ws();
+    RISPP_CHECK_MSG(p < close && text[p] == ':', context << ": expected ':' after " << key);
+    ++p;
+    skip_ws();
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + p, &end);
+    RISPP_CHECK_MSG(end != text.c_str() + p,
+                    context << ": metric " << key << " has no numeric value");
+    p = static_cast<std::size_t>(end - text.c_str());
+    RISPP_CHECK_MSG(out.emplace(key, value).second, context << ": duplicate metric " << key);
+  }
+}
+
 /// The single BENCH_*.json a child wrote into its private json dir, if any.
 std::optional<PerfRecord> collect_child_record(const std::filesystem::path& json_dir) {
   std::error_code ec;
@@ -175,10 +216,43 @@ std::optional<PerfRecord> collect_child_record(const std::filesystem::path& json
   return std::nullopt;
 }
 
+/// Counters are integers in disguise; print them without an exponent so the
+/// suite record stays grep-friendly. Gauges keep full double precision.
+void append_metric_number(std::ostream& out, double value) {
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    out << static_cast<long long>(value);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out << buf;
+}
+
 }  // namespace
 
 std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path) {
   return parse_perf_text(read_file(path), path.string());
+}
+
+std::map<std::string, double> parse_metrics_record(const std::filesystem::path& path) {
+  std::map<std::string, double> metrics;
+  const std::string text = read_file(path);
+  if (text.empty()) return metrics;  // child wrote no snapshot: not an error
+  check_single_json_object(text, path.string());
+  for (const char* section : {"counters", "gauges"}) {
+    check_no_duplicate_key(text, section, path.string());
+    const std::string needle = "\"" + std::string(section) + "\"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) continue;
+    const std::size_t open = text.find('{', at + needle.size());
+    RISPP_CHECK_MSG(open != std::string::npos,
+                    path.string() << ": " << section << " is not an object");
+    const std::size_t close = balanced_object_end(text, open);
+    RISPP_CHECK_MSG(close != std::string::npos,
+                    path.string() << ": unbalanced " << section << " object");
+    parse_flat_metrics(text, open, close, path.string(), metrics);
+  }
+  return metrics;
 }
 
 unsigned compute_child_threads(unsigned total_threads, unsigned jobs, std::size_t unfinished) {
@@ -194,9 +268,15 @@ std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& 
   const std::filesystem::path json_dir = options.out_dir / "json";
   std::filesystem::create_directories(log_dir);
   std::filesystem::create_directories(json_dir);
+  if (!options.trace_dir.empty()) std::filesystem::create_directories(options.trace_dir);
 
   std::vector<ReportResult> results(binaries.size());
   std::vector<Clock::time_point> started(binaries.size());
+  // Per-report trace rows (one lane each, so overlapping children never
+  // share a row); traced_names doubles as the "was this report traced" flag.
+  std::vector<TraceLane> lanes(binaries.size(), 0);
+  std::vector<double> started_us(binaries.size(), 0.0);
+  std::vector<const char*> traced_names(binaries.size(), nullptr);
   std::map<pid_t, std::size_t> running;
   std::size_t next = 0, done = 0;
 
@@ -214,7 +294,18 @@ std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& 
     r.log = log_dir / (r.name + ".log");
     const std::filesystem::path child_json = json_dir / r.name;
     std::filesystem::create_directories(child_json);
+    const std::string metrics_path = (child_json / "METRICS.json").string();
+    const std::string trace_path =
+        options.trace_dir.empty()
+            ? std::string()
+            : (options.trace_dir / (r.name + ".trace.json")).string();
 
+    if (trace_enabled()) {
+      lanes[i] = trace_new_lane();
+      traced_names[i] = trace_intern(r.name);
+      trace_name_lane(TraceTrack::kBench, lanes[i], traced_names[i]);
+      started_us[i] = trace_now_us();
+    }
     const int fd = ::open(r.log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     RISPP_CHECK_MSG(fd >= 0, "cannot open log " << r.log.string());
     started[i] = Clock::now();
@@ -228,6 +319,13 @@ std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& 
       ::close(fd);
       ::setenv("RISPP_THREADS", threads.c_str(), 1);
       ::setenv("RISPP_BENCH_JSON_DIR", child_json.c_str(), 1);
+      ::setenv("RISPP_METRICS", metrics_path.c_str(), 1);
+      if (trace_path.empty())
+        // A traced driver must not leak its own RISPP_TRACE into children:
+        // every child would overwrite the parent's trace file at exit.
+        ::unsetenv("RISPP_TRACE");
+      else
+        ::setenv("RISPP_TRACE", trace_path.c_str(), 1);
       ::execl(binaries[i].c_str(), binaries[i].c_str(), (char*)nullptr);
       std::fprintf(stderr, "exec %s: %s\n", binaries[i].c_str(), std::strerror(errno));
       ::_exit(127);
@@ -254,6 +352,10 @@ std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& 
     r.exit_code = WIFSIGNALED(wstatus) ? 128 + WTERMSIG(wstatus)
                                        : WEXITSTATUS(wstatus);
     r.perf = collect_child_record(json_dir / r.name);
+    r.metrics = parse_metrics_record(json_dir / r.name / "METRICS.json");
+    if (traced_names[i] != nullptr)
+      trace_complete(TraceTrack::kBench, lanes[i], traced_names[i], started_us[i],
+                     trace_now_us() - started_us[i]);
     ++done;
     char line[256];
     std::snprintf(line, sizeof line, "[%2zu/%zu] %-28s %8.2fs  %s", done, binaries.size(),
@@ -293,6 +395,16 @@ void write_suite(const std::vector<ReportResult>& results, int frames,
       out << ", \"bench\": \"" << r.perf->bench << "\", \"cells\": " << r.perf->cells
           << ", \"cells_per_sec\": " << r.perf->cells_per_sec
           << ", \"threads\": " << r.perf->threads;
+    if (!r.metrics.empty()) {
+      out << ", \"metrics\": {";
+      bool first = true;
+      for (const auto& [key, value] : r.metrics) {
+        out << (first ? "" : ", ") << "\"" << key << "\": ";
+        append_metric_number(out, value);
+        first = false;
+      }
+      out << "}";
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -325,9 +437,23 @@ std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& pat
   std::size_t at = reports == std::string::npos ? std::string::npos
                                                 : text.find('{', reports);
   while (at != std::string::npos) {
-    const std::size_t close = text.find('}', at);
+    // Balanced scan, not find('}'): a report chunk may hold a nested
+    // "metrics" subobject whose first '}' is not the chunk's end.
+    const std::size_t close = balanced_object_end(text, at);
     if (close == std::string::npos) break;
-    const std::string chunk = text.substr(at, close - at + 1);
+    std::string chunk = text.substr(at, close - at + 1);
+    // Strip the metrics subobject before the flat scans below: its registry
+    // names are arbitrary and must never shadow (or dup-flag) a report key.
+    const std::size_t metrics_at = chunk.find("\"metrics\"");
+    if (metrics_at != std::string::npos) {
+      const std::size_t metrics_open = chunk.find('{', metrics_at);
+      const std::size_t metrics_close =
+          metrics_open == std::string::npos
+              ? std::string::npos
+              : balanced_object_end(chunk, metrics_open);
+      if (metrics_close != std::string::npos)
+        chunk.erase(metrics_at, metrics_close - metrics_at + 1);
+    }
     // Duplicate keys inside one report chunk would silently shadow the scan.
     for (const char* key :
          {"name", "exit_code", "wall_seconds", "bench", "cells", "cells_per_sec", "threads"})

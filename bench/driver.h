@@ -41,6 +41,9 @@ struct ReportResult {
   int exit_code = -1;              // 128+signal when killed by a signal
   double wall_seconds = 0.0;       // driver-measured (includes process spawn)
   std::optional<PerfRecord> perf;  // the child's BENCH_<name>.json, if written
+  /// The child's metrics-registry snapshot (METRICS.json: counters and
+  /// gauges flattened into one name → value map); empty when absent.
+  std::map<std::string, double> metrics;
 };
 
 struct DriverOptions {
@@ -51,6 +54,11 @@ struct DriverOptions {
   /// the finishers' share instead of the static total/jobs split.
   unsigned total_threads = 0;
   std::filesystem::path out_dir;   // logs/, json/, BENCH_SUITE.json
+  /// When non-empty, each child runs with RISPP_TRACE=<trace_dir>/<name>
+  /// .trace.json so every report leaves a Chrome trace. When empty the
+  /// driver *unsets* RISPP_TRACE in children: a traced driver must not make
+  /// every child overwrite the parent's own trace file.
+  std::filesystem::path trace_dir;
 };
 
 /// The thread share of a child launched while `unfinished` reports (queued +
@@ -74,9 +82,17 @@ std::vector<std::filesystem::path> discover_reports(const std::filesystem::path&
 /// throws with a message naming the file, never parses wrong.
 std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path);
 
+/// Parses a METRICS.json registry snapshot ({"counters": {...}, "gauges":
+/// {...}}) into one flat name → value map. A missing or empty file yields an
+/// empty map; structural corruption (trailing garbage, unbalanced braces,
+/// duplicated metric names) throws with a message naming the file.
+std::map<std::string, double> parse_metrics_record(const std::filesystem::path& path);
+
 /// Runs `binaries` across a bounded pool (options.jobs children at a time),
-/// each with RISPP_THREADS=options.threads_per_child and
-/// RISPP_BENCH_JSON_DIR=<out_dir>/json/<name>, stdout+stderr streamed to
+/// each with RISPP_THREADS=options.threads_per_child,
+/// RISPP_BENCH_JSON_DIR=<out_dir>/json/<name> and
+/// RISPP_METRICS=<out_dir>/json/<name>/METRICS.json (folded into
+/// ReportResult::metrics after the child exits), stdout+stderr streamed to
 /// <out_dir>/logs/<name>.log. Prints one line per completed report to
 /// `status`. Results keep the input order regardless of completion order.
 std::vector<ReportResult> run_reports(const std::vector<std::filesystem::path>& binaries,

@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "alg/molecule.h"
+#include "base/metrics.h"
 #include "base/parallel.h"
 #include "base/prng.h"
+#include "base/trace_event.h"
 #include "bench/common.h"
 #include "dpg/enumerate.h"
 #include "dpg/list_scheduler.h"
@@ -196,6 +198,27 @@ void BM_HotSpotEntryDecision(benchmark::State& state) {
   state.SetLabel(config.enable_decision_cache ? "cached" : "uncached");
 }
 BENCHMARK(BM_HotSpotEntryDecision)->Arg(0)->Arg(1);
+
+// The tracing-off cost every instrumentation site pays: a relaxed atomic
+// load plus a branch at span construction and destruction. The "zero-cost"
+// claim of the tracer is this number staying at a few nanoseconds.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    RISPP_TRACE_SPAN(TraceTrack::kRtm, "bench span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+// One relaxed fetch_add: the always-on cost of a registry counter bump.
+void BM_MetricCounterAdd(benchmark::State& state) {
+  static MetricCounter& counter = metric_counter("bench.micro_counter");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricCounterAdd);
 
 void BM_Sad16x16(benchmark::State& state) {
   Xoshiro256 rng(1);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/env.h"
+
 namespace rispp {
 namespace {
 
@@ -26,13 +28,20 @@ void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
 void init_log_level_from_env() {
+  // Strict like RISPP_FRAMES/RISPP_THREADS (base/env.h): a typo'd level
+  // silently keeping the default would hide the logs someone asked for.
   const char* env = std::getenv("RISPP_LOG_LEVEL");
-  if (env == nullptr) return;
+  if (env == nullptr || *env == '\0') return;
   if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
   else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
   else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
   else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
   else if (std::strcmp(env, "off") == 0) g_level = LogLevel::kOff;
+  else {
+    std::fprintf(stderr, "RISPP_LOG_LEVEL=%s is not one of debug|info|warn|error|off\n",
+                 env);
+    std::exit(kEnvParseExitCode);
+  }
 }
 
 namespace detail {

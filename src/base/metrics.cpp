@@ -1,0 +1,134 @@
+#include "base/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace rispp {
+namespace {
+
+// Leaked on purpose: counters registered from function-local statics are
+// read by the at-exit flush, which runs after static destructors would.
+struct MetricsRegistry {
+  std::mutex mutex;
+  std::map<std::string, MetricCounter*, std::less<>> counters;
+  std::map<std::string, MetricGauge*, std::less<>> gauges;
+  std::string out_path;  // RISPP_METRICS target, written at exit
+};
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+void append_number(std::ostringstream& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    out << static_cast<long long>(v);
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out << buf;
+  }
+}
+
+void write_metrics_at_exit() {
+  MetricsRegistry& r = registry();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    path = r.out_path;
+  }
+  if (!path.empty()) write_metrics_json(path);
+}
+
+}  // namespace
+
+MetricCounter& metric_counter(std::string_view name) {
+  MetricsRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end())
+    it = r.counters.emplace(std::string(name), new MetricCounter).first;
+  return *it->second;
+}
+
+MetricGauge& metric_gauge(std::string_view name) {
+  MetricsRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end())
+    it = r.gauges.emplace(std::string(name), new MetricGauge).first;
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> metrics_counter_snapshot() {
+  MetricsRegistry& r = registry();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.reserve(r.counters.size());
+  for (const auto& [name, counter] : r.counters) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> metrics_gauge_snapshot() {
+  MetricsRegistry& r = registry();
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.reserve(r.gauges.size());
+  for (const auto& [name, gauge] : r.gauges) out.emplace_back(name, gauge->value());
+  return out;
+}
+
+std::string metrics_snapshot_json() {
+  const auto counters = metrics_counter_snapshot();
+  const auto gauges = metrics_gauge_snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i)
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << counters[i].first
+        << "\": " << counters[i].second;
+  out << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << gauges[i].first << "\": ";
+    append_number(out, gauges[i].second);
+  }
+  out << (gauges.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+bool write_metrics_json(const std::string& path) {
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (!target.parent_path().empty())
+    std::filesystem::create_directories(target.parent_path(), ec);
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  out << metrics_snapshot_json();
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "[rispp] cannot write RISPP_METRICS snapshot to %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void init_metrics_from_env() {
+  const char* env = std::getenv("RISPP_METRICS");
+  if (env == nullptr || *env == '\0') return;
+  MetricsRegistry& r = registry();
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    arm = r.out_path.empty();
+    r.out_path = env;
+  }
+  if (arm) std::atexit(write_metrics_at_exit);
+}
+
+}  // namespace rispp

@@ -1,0 +1,66 @@
+// Process-global metrics registry: named monotonic counters and gauges.
+//
+// The ad-hoc counters previously scattered across rtm/, sim/stats.h and the
+// bench driver get one home with a JSON snapshot API. Counters are relaxed
+// atomics — safe to bump from pool workers — and registration is a one-time
+// mutex-guarded name lookup, so call sites cache the reference:
+//
+//   static MetricCounter& hits = metric_counter("rtm.decision_cache.hits");
+//   hits.add();
+//
+// RISPP_METRICS=<path> (read by the same startup hook as RISPP_TRACE) writes
+// the snapshot at process exit; the rispp_bench driver sets it per child and
+// folds every report's snapshot into BENCH_SUITE.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rispp {
+
+/// Monotonic counter. Registered objects live for the process lifetime, so
+/// cached references never dangle.
+class MetricCounter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge (a level, not a count).
+class MetricGauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Returns the counter/gauge registered under `name`, creating it on first
+/// use. The reference stays valid for the process lifetime.
+MetricCounter& metric_counter(std::string_view name);
+MetricGauge& metric_gauge(std::string_view name);
+
+/// All registered counters/gauges, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> metrics_counter_snapshot();
+std::vector<std::pair<std::string, double>> metrics_gauge_snapshot();
+
+/// {"counters": {...}, "gauges": {...}} with keys sorted.
+std::string metrics_snapshot_json();
+
+/// Writes metrics_snapshot_json() to `path` (parent directories created).
+/// Returns false (with a stderr diagnostic) on I/O failure.
+bool write_metrics_json(const std::string& path);
+
+/// RISPP_METRICS=<path> registers an at-exit snapshot write. Called from the
+/// same static initializer as init_trace_from_env().
+void init_metrics_from_env();
+
+}  // namespace rispp

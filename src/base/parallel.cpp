@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/env.h"
+#include "base/metrics.h"
+#include "base/trace_event.h"
 
 namespace rispp {
 namespace {
@@ -69,6 +71,9 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     slot = (slot + 1) % threads_;
   }
 
+  static MetricCounter& jobs = metric_counter("pool.jobs");
+  jobs.add();
+
   Job job;
   job.fn = &fn;
   job.n = n;
@@ -130,10 +135,19 @@ bool ThreadPool::claim(unsigned slot, Chunk& out) {
   }
   for (unsigned k = 1; k < threads_; ++k) {
     const unsigned victim = (slot + k) % threads_;
-    std::lock_guard<std::mutex> lock(slots_[victim].mutex);
-    if (!slots_[victim].chunks.empty()) {
-      out = slots_[victim].chunks.back();
-      slots_[victim].chunks.pop_back();
+    bool stolen = false;
+    {
+      std::lock_guard<std::mutex> lock(slots_[victim].mutex);
+      if (!slots_[victim].chunks.empty()) {
+        out = slots_[victim].chunks.back();
+        slots_[victim].chunks.pop_back();
+        stolen = true;
+      }
+    }
+    if (stolen) {
+      static MetricCounter& steals = metric_counter("pool.steals");
+      steals.add();
+      trace_instant_now(TraceTrack::kThreadPool, "steal");
       return true;
     }
   }
@@ -144,6 +158,9 @@ bool ThreadPool::claim(unsigned slot, Chunk& out) {
 
 void ThreadPool::run_chunks(Job& job, unsigned slot) {
   t_inside_pool_job = true;
+  // B/E pair rather than TraceSpan: steal instants land on this thread's row
+  // while the span is open, and file order per row must stay monotonic.
+  trace_begin_now(TraceTrack::kThreadPool, "job");
   Chunk chunk;
   while (claim(slot, chunk)) {
     for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
@@ -158,6 +175,7 @@ void ThreadPool::run_chunks(Job& job, unsigned slot) {
       }
     }
   }
+  trace_end_now(TraceTrack::kThreadPool, "job");
   t_inside_pool_job = false;
 }
 

@@ -1,0 +1,167 @@
+// Zero-cost structured tracing in the Chrome trace-event format.
+//
+// The paper's whole argument is a timeline (Figures 4 and 8: atoms streaming
+// through the single reconfiguration port while SIs upgrade step by step), so
+// the run-time system can emit that timeline directly: set
+// RISPP_TRACE=<out.json> and every instrumented layer records spans, instants
+// and counter samples into per-thread lock-free buffers, flushed at process
+// exit as a JSON file that loads in about://tracing / Perfetto.
+//
+// Cost model: with tracing off (the default) every instrumentation site is
+// one relaxed atomic load plus a branch — measured at ~1 ns by the
+// BM_TraceSpanDisabled micro benchmark — and report outputs are byte-identical
+// with tracing on or off (the tracer never writes to stdout/stderr on
+// success, and no instrumented computation depends on it).
+//
+// Tracks and lanes: a *track* (Chrome pid) groups one subsystem — the
+// reconfiguration port, the executor, the RTM, the thread pool, the bench
+// driver — and a *lane* (Chrome tid) is one row within it. Lanes are virtual
+// thread ids handed out by trace_new_lane(): simulated-time rows (port loads,
+// hot-spot instances, SI upgrades; timestamps in simulated µs via
+// us_from_cycles) allocate one lane per run or port so rows stay
+// monotonically timestamped even when parallel sweep cells overlap or
+// sequential cells restart simulated time at zero. Wall-clock rows (RTM
+// decide() spans, pool jobs) use the calling thread's own lane.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rispp {
+
+/// One subsystem = one Chrome process (pid) = one named track group.
+enum class TraceTrack : std::uint8_t {
+  kReconfigPort = 0,  // Figure 4: one span per atom load on the single port
+  kExecutor,          // hot-spot instances (B/E) and per-SI upgrade instants
+  kRtm,               // decide() spans + decision-cache counter samples
+  kThreadPool,        // work-stealing pool jobs and steal instants
+  kBench,             // one span per report under the rispp_bench driver
+  kMetrics,           // final registry counter samples at flush
+};
+inline constexpr std::size_t kTraceTrackCount = 6;
+
+/// Human name of a track ("reconfig port", ...), used as the Chrome
+/// process_name metadata.
+const char* trace_track_name(TraceTrack track);
+
+namespace trace_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_detail
+
+/// The single branch every instrumentation site pays when tracing is off.
+inline bool trace_enabled() {
+  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// A row within a track (Chrome tid). Ids are process-unique across lanes
+/// and OS threads, so a lane never collides with another row.
+using TraceLane = std::uint32_t;
+
+/// Allocates a fresh lane id (cheap: one relaxed atomic increment).
+TraceLane trace_new_lane();
+
+/// Names a lane (Chrome thread_name metadata). `name` must stay valid until
+/// the trace is flushed — pass a literal or trace_intern() the string.
+void trace_name_lane(TraceTrack track, TraceLane lane, const char* name);
+
+/// Copies `name` into leaked process-lifetime storage and returns a stable
+/// pointer (deduplicated). Event names must outlive the at-exit flush, which
+/// runs after most static destructors; intern anything that is not a literal.
+const char* trace_intern(std::string_view name);
+
+// -- Emitters (no-ops when tracing is off) -------------------------------
+// Explicit-timestamp forms for simulated-time rows: `ts_us`/`dur_us` are
+// microseconds (us_from_cycles for simulated cycles). Events on one
+// (track, lane) row must be emitted with non-decreasing timestamps.
+
+/// Complete event ('X'): a span with a known duration.
+void trace_complete(TraceTrack track, TraceLane lane, const char* name, double ts_us,
+                    double dur_us);
+/// Duration begin/end pair ('B'/'E'); must nest properly per lane.
+void trace_begin(TraceTrack track, TraceLane lane, const char* name, double ts_us);
+void trace_end(TraceTrack track, TraceLane lane, const char* name, double ts_us);
+/// Instant event ('i').
+void trace_instant(TraceTrack track, TraceLane lane, const char* name, double ts_us);
+/// Counter sample ('C').
+void trace_counter(TraceTrack track, TraceLane lane, const char* name, double ts_us,
+                   double value);
+
+/// Wall-clock microseconds since the trace session started (valid only while
+/// a session is active).
+double trace_now_us();
+
+/// Instant / counter sample on the calling thread's own lane, stamped with
+/// the current wall clock.
+void trace_instant_now(TraceTrack track, const char* name);
+void trace_counter_now(TraceTrack track, const char* name, double value);
+
+/// Wall-clock duration pair on the calling thread's lane. Prefer these over
+/// TraceSpan when other events (instants, counters) can land on the same
+/// (track, thread) row while the span is open: a 'B'/'E' pair keeps the row's
+/// file order monotonic, whereas TraceSpan's complete event is only appended
+/// when the span closes.
+void trace_begin_now(TraceTrack track, const char* name);
+void trace_end_now(TraceTrack track, const char* name);
+
+/// RAII wall-clock span on the calling thread's lane: captures the start
+/// time at construction, emits one complete event at destruction. When
+/// tracing is off both ends cost one relaxed load + branch.
+class TraceSpan {
+ public:
+  TraceSpan(TraceTrack track, const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;  // < 0 when tracing was off at construction
+  TraceTrack track_;
+};
+
+#define RISPP_TRACE_CAT2(a, b) a##b
+#define RISPP_TRACE_CAT(a, b) RISPP_TRACE_CAT2(a, b)
+/// Scoped span: RISPP_TRACE_SPAN(TraceTrack::kRtm, "decide");
+#define RISPP_TRACE_SPAN(track, name) \
+  ::rispp::TraceSpan RISPP_TRACE_CAT(rispp_trace_span_, __LINE__)((track), (name))
+
+// -- Session control ------------------------------------------------------
+
+/// Starts recording into in-memory buffers; the JSON goes to `path` at
+/// stop_trace_session(). An already-active session is flushed first.
+void start_trace_session(const std::string& path);
+
+/// Disables tracing and writes the buffered events (plus one final counter
+/// sample per metrics-registry entry) as {"traceEvents": [...]} to the
+/// session's path. Silent on success; errors go to stderr. No-op without an
+/// active session.
+void stop_trace_session();
+
+/// RISPP_TRACE=<out.json> starts a session at startup and registers an
+/// at-exit flush. Called from a static initializer in trace_event.cpp, so
+/// every binary linking the instrumented code honors the variable.
+void init_trace_from_env();
+
+// -- Validation (tests, tools/trace_check) --------------------------------
+
+struct TraceValidation {
+  std::size_t events = 0;  // non-metadata events
+  std::size_t tracks = 0;  // distinct pids with at least one non-metadata event
+  std::vector<std::string> counter_names;  // sorted, unique
+};
+
+/// Parses a Chrome trace JSON (top-level array or {"traceEvents": [...]})
+/// and checks well-formedness: every event has a valid phase, name, pid and
+/// tid; 'X' events have ts and dur >= 0; 'B'/'E' pairs match per (pid, tid)
+/// row; non-metadata timestamps are monotonically non-decreasing per row in
+/// file order. Returns nullopt on success, else a description of the first
+/// problem.
+std::optional<std::string> validate_chrome_trace(std::istream& in,
+                                                 TraceValidation* info = nullptr);
+
+}  // namespace rispp

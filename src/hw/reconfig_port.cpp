@@ -1,18 +1,32 @@
 #include "hw/reconfig_port.h"
 
 #include "base/check.h"
+#include "base/clock.h"
+#include "base/metrics.h"
 
 namespace rispp {
 
 ReconfigPort::ReconfigPort(const AtomLibrary* library, BitstreamModel model)
-    : library_(library), model_(model) {
+    : library_(library), model_(model), trace_lane_(trace_new_lane()) {
   RISPP_CHECK(library != nullptr);
+  trace_name_lane(TraceTrack::kReconfigPort, trace_lane_, "atom loads");
 }
 
 Cycles ReconfigPort::start(AtomTypeId type, ContainerId container, Cycles now) {
   RISPP_CHECK_MSG(!busy(), "reconfiguration port is single-channel");
   const Cycles done = now + load_cycles(type);
   inflight_ = InflightLoad{type, container, done};
+  static MetricCounter& started = metric_counter("port.loads_started");
+  started.add();
+  if (trace_enabled()) {
+    if (traced_type_names_.empty()) {
+      traced_type_names_.reserve(library_->size());
+      for (AtomTypeId t = 0; t < library_->size(); ++t)
+        traced_type_names_.push_back(trace_intern(library_->type(t).name));
+    }
+    trace_complete(TraceTrack::kReconfigPort, trace_lane_, traced_type_names_[type],
+                   us_from_cycles(now), us_from_cycles(done - now));
+  }
   return done;
 }
 

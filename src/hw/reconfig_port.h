@@ -5,7 +5,9 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "base/trace_event.h"
 #include "base/types.h"
 #include "dpg/atom_library.h"
 #include "hw/bitstream.h"
@@ -42,6 +44,13 @@ class ReconfigPort {
   BitstreamModel model_;
   std::optional<InflightLoad> inflight_;
   std::uint64_t completed_ = 0;
+
+  // Observability: every port gets its own trace lane on the reconfig-port
+  // track; each start() emits one complete span (Figure 4's port timeline).
+  // Atom-type names are interned lazily on the first traced load so span
+  // names outlive the at-exit flush.
+  TraceLane trace_lane_;
+  std::vector<const char*> traced_type_names_;
 };
 
 }  // namespace rispp

@@ -1,7 +1,11 @@
 #include "rtm/run_time_manager.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/clock.h"
 #include "base/log.h"
+#include "base/metrics.h"
 #include "hw/eviction.h"
 
 namespace rispp {
@@ -24,8 +28,10 @@ RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot
       span_step_gen_(set->si_count(), 0),
       span_step_(set->si_count(), 0),
       span_touch_gen_(set->si_count(), 0),
-      span_last_start_(set->si_count(), 0) {
+      span_last_start_(set->si_count(), 0),
+      upgrade_lane_(trace_new_lane()) {
   RISPP_CHECK(config_.scheduler != nullptr);
+  trace_name_lane(TraceTrack::kExecutor, upgrade_lane_, "SI upgrades");
   if (config_.payback_horizon > 0)
     payback_cycles_per_atom_ =
         cycles_from_us(config_.bitstream.average_reconfig_us(set_->library())) /
@@ -96,6 +102,7 @@ void RunTimeManager::advance_reconfig(Cycles now) {
   while (port_.busy() && port_.inflight()->finishes_at <= now) {
     const auto done = port_.retire(now);
     containers_.complete_load(done.container);
+    if (cache_valid_) cache_event_now_ = done.finishes_at;
     cache_valid_ = false;
     start_pending_loads(done.finishes_at);
   }
@@ -114,6 +121,7 @@ void RunTimeManager::start_pending_loads(Cycles now) {
     }
     pending_loads_.pop_front();
     containers_.begin_load(*victim, type);
+    if (cache_valid_) cache_event_now_ = now;
     cache_valid_ = false;  // eviction may have removed a ready atom
     port_.start(type, *victim, now);
   }
@@ -133,6 +141,7 @@ void RunTimeManager::start_pending_loads(Cycles now) {
         if (!victim.has_value()) return;
         prefetch_loads_.pop_front();
         containers_.begin_load(*victim, type);
+        if (cache_valid_) cache_event_now_ = now;
         cache_valid_ = false;
         port_.start(type, *victim, now);
       }
@@ -199,6 +208,9 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
     const std::vector<SiId>& sis, const std::vector<std::uint64_t>& forecast,
     unsigned budget) {
   const Molecule& ready = containers_.ready_atoms();
+  static MetricCounter& hit_metric = metric_counter("rtm.decision_cache.hits");
+  static MetricCounter& miss_metric = metric_counter("rtm.decision_cache.misses");
+  static MetricCounter& eviction_metric = metric_counter("rtm.decision_cache.evictions");
 
   DecisionEntry* out = nullptr;
   if (config_.enable_decision_cache) {
@@ -210,21 +222,38 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
     for (std::size_t t = 0; t < ready.dimension(); ++t) hash = fingerprint_mix(hash, ready[t]);
     hash = fingerprint_mix(hash, budget);
 
-    std::vector<DecisionEntry>& bucket = decision_cache_[hash];
-    for (const DecisionEntry& e : bucket) {
-      if (e.budget == budget && e.sis == sis && e.forecast == forecast && e.ready == ready) {
-        ++decision_cache_hits_;
-        return e;
+    const auto bucket_it = decision_cache_.find(hash);
+    if (bucket_it != decision_cache_.end()) {
+      for (const auto entry_it : bucket_it->second) {
+        if (entry_it->budget == budget && entry_it->sis == sis &&
+            entry_it->forecast == forecast && entry_it->ready == ready) {
+          ++decision_cache_hits_;
+          hit_metric.add();
+          if (trace_enabled())
+            trace_counter_now(TraceTrack::kRtm, "decision cache hits",
+                              static_cast<double>(decision_cache_hits_));
+          decision_lru_.splice(decision_lru_.begin(), decision_lru_, entry_it);
+          return *entry_it;
+        }
       }
     }
-    if (decision_cache_size_ >= kDecisionCacheCapacity) {
-      decision_cache_.clear();
-      decision_cache_size_ = 0;
-      out = &decision_cache_[hash].emplace_back();
-    } else {
-      out = &bucket.emplace_back();
+
+    // Miss past capacity: evict the least-recently-used decision (a future
+    // miss on that key simply recomputes, so eviction is bit-exact).
+    const std::size_t capacity = std::max<std::size_t>(1, config_.decision_cache_capacity);
+    if (decision_lru_.size() >= capacity) {
+      const auto victim = std::prev(decision_lru_.end());
+      auto& victim_bucket = decision_cache_[victim->hash];
+      victim_bucket.erase(std::find(victim_bucket.begin(), victim_bucket.end(), victim));
+      if (victim_bucket.empty()) decision_cache_.erase(victim->hash);
+      decision_lru_.erase(victim);
+      ++decision_cache_evictions_;
+      eviction_metric.add();
     }
-    ++decision_cache_size_;
+    decision_lru_.emplace_front();
+    decision_cache_[hash].push_back(decision_lru_.begin());
+    out = &decision_lru_.front();
+    out->hash = hash;
     out->sis = sis;
     out->forecast = forecast;
     out->ready = ready;
@@ -233,6 +262,11 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
     out = &uncached_decision_;
   }
   ++decision_cache_misses_;
+  miss_metric.add();
+
+  // The selection→schedule pipeline is the expensive path worth seeing on
+  // the timeline; cache hits above return in nanoseconds and stay silent.
+  trace_begin_now(TraceTrack::kRtm, "decide");
 
   SelectionRequest sel_req;
   sel_req.set = set_;
@@ -249,13 +283,44 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
   sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
   Schedule schedule = config_.scheduler->schedule(sched_req);
   out->loads = std::move(schedule.loads);
+
+  trace_end_now(TraceTrack::kRtm, "decide");
+  if (trace_enabled())
+    trace_counter_now(TraceTrack::kRtm, "decision cache misses",
+                      static_cast<double>(decision_cache_misses_));
   return *out;
 }
 
 void RunTimeManager::refresh_cache() {
   const Molecule& ready = containers_.ready_atoms();
-  for (SiId si = 0; si < set_->si_count(); ++si)
-    cached_molecule_[si] = set_->fastest_available(si, ready);
+  const bool traced = trace_enabled();
+  if (traced && traced_si_names_.empty()) {
+    traced_si_names_.reserve(set_->si_count());
+    for (SiId si = 0; si < set_->si_count(); ++si)
+      traced_si_names_.push_back(trace_intern(set_->si(si).name));
+  }
+  std::uint64_t upgrades = 0;
+  for (SiId si = 0; si < set_->si_count(); ++si) {
+    const MoleculeId mol = set_->fastest_available(si, ready);
+    if (mol != cached_molecule_[si]) {
+      // The gradual-upgrade property (§3.1): count latency-improving
+      // transitions (trap → slow molecule → selected molecule). Downgrades
+      // (an eviction took a ready atom) change the cache but are not
+      // upgrades. cache_event_now_ holds the port event that invalidated
+      // the cache, i.e. when the transition actually happened.
+      if (set_->si(si).latency(mol) < set_->si(si).latency(cached_molecule_[si])) {
+        ++upgrades;
+        if (traced)
+          trace_instant(TraceTrack::kExecutor, upgrade_lane_, traced_si_names_[si],
+                        us_from_cycles(cache_event_now_));
+      }
+      cached_molecule_[si] = mol;
+    }
+  }
+  if (upgrades > 0) {
+    static MetricCounter& upgrade_metric = metric_counter("rtm.si_upgrades");
+    upgrade_metric.add(upgrades);
+  }
   cache_valid_ = true;
 }
 

@@ -16,9 +16,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
+
+#include "base/trace_event.h"
 
 #include "hw/atom_container.h"
 #include "hw/bitstream.h"
@@ -62,6 +65,10 @@ struct RtmConfig {
   /// so replaying a cached decision is bit-exact by construction. Off is
   /// only useful for A/B tests and the cache's own equivalence tests.
   bool enable_decision_cache = true;
+  /// Decision-cache entry bound: past it, the least-recently-used decision
+  /// is evicted (misses recompute, so any capacity stays bit-exact).
+  /// Steady-state workloads sit far below the default.
+  std::size_t decision_cache_capacity = 4096;
 };
 
 class RunTimeManager final : public ExecutionBackend {
@@ -94,6 +101,8 @@ class RunTimeManager final : public ExecutionBackend {
   /// Decision-cache effectiveness (both the entry and the prefetch path).
   std::uint64_t decision_cache_hits() const { return decision_cache_hits_; }
   std::uint64_t decision_cache_misses() const { return decision_cache_misses_; }
+  std::uint64_t decision_cache_evictions() const { return decision_cache_evictions_; }
+  std::size_t decision_cache_size() const { return decision_lru_.size(); }
 
  private:
   void advance_reconfig(Cycles now);
@@ -110,6 +119,7 @@ class RunTimeManager final : public ExecutionBackend {
     unsigned budget = 0;
     std::vector<SiRef> selection;
     std::vector<AtomTypeId> loads;
+    std::uint64_t hash = 0;  // key digest, kept so eviction finds the bucket
   };
   /// Runs selection + scheduling for (sis, forecast, current ready atoms,
   /// budget), or replays the memoized result verbatim on a key match. The
@@ -140,22 +150,32 @@ class RunTimeManager final : public ExecutionBackend {
   Molecule prefetch_demand_;                    // sup of the prefetch selection
   std::vector<Cycles> type_last_used_;   // LRU stamps per atom type
 
-  // Decision cache (see decide()). Buckets hold full keys: a hash collision
-  // degrades to a linear compare, never to a wrong decision. Cleared
-  // wholesale when kDecisionCacheCapacity entries accumulate (steady-state
-  // workloads sit far below it; the bound only guards pathological traces).
-  static constexpr std::size_t kDecisionCacheCapacity = 4096;
-  std::unordered_map<std::uint64_t, std::vector<DecisionEntry>> decision_cache_;
-  std::size_t decision_cache_size_ = 0;
+  // Decision cache (see decide()). Entries live on an LRU list (front =
+  // most recent; hits splice to the front, a miss past capacity evicts the
+  // back). Buckets map the key digest to list iterators holding full keys:
+  // a hash collision degrades to a linear compare, never to a wrong
+  // decision. std::list iterators survive splicing, so bucket entries stay
+  // valid across recency updates.
+  std::list<DecisionEntry> decision_lru_;
+  std::unordered_map<std::uint64_t, std::vector<std::list<DecisionEntry>::iterator>>
+      decision_cache_;
   std::uint64_t decision_cache_hits_ = 0;
   std::uint64_t decision_cache_misses_ = 0;
+  std::uint64_t decision_cache_evictions_ = 0;
   DecisionEntry uncached_decision_;      // result slot when the cache is off
   std::vector<std::uint64_t> oracle_forecast_;  // per-entry scratch (kOracle)
   std::vector<SiId> prefetch_sis_;              // per-entry scratch (prefetch)
 
-  // Latency cache, invalidated when ready atoms change.
+  // Latency cache, invalidated when ready atoms change. refresh_cache()
+  // also diffs old vs new molecules to spot per-SI upgrade transitions
+  // (trap → slow molecule → selected molecule): cache_event_now_ remembers
+  // the simulated time of the first invalidating port event since the last
+  // refresh, which timestamps the upgrade instants on the executor track.
   std::vector<MoleculeId> cached_molecule_;  // per SiId
   bool cache_valid_ = false;
+  Cycles cache_event_now_ = 0;
+  TraceLane upgrade_lane_;                      // "SI upgrades" row
+  std::vector<const char*> traced_si_names_;    // interned, lazy
   void refresh_cache();
 
   // Scratch for si_execution_span's port-quiet windows (per SiId, validated

@@ -1,13 +1,17 @@
 #include "sched/fsfr.h"
 
+#include "base/metrics.h"
+
 namespace rispp {
 namespace sched_detail {
 
 namespace {
 /// Smallest-additional-atoms live candidate of `si`; ties broken by lower
-/// latency, then molecule id (determinism).
-bool pick_smallest(UpgradeState& state, SiId si, SiRef& out) {
+/// latency, then molecule id (determinism). `examined` accumulates how many
+/// live candidates the scan looked at.
+bool pick_smallest(UpgradeState& state, SiId si, SiRef& out, std::uint64_t& examined) {
   const auto live = state.live_candidates_of(si);
+  examined += live.size();
   if (live.empty()) return false;
   const SiRef* best = &live.front();
   for (const SiRef& c : live) {
@@ -19,25 +23,34 @@ bool pick_smallest(UpgradeState& state, SiId si, SiRef& out) {
 }
 }  // namespace
 
-void upgrade_si_fully(UpgradeState& state, const SiRef& selected) {
+std::uint64_t upgrade_si_fully(UpgradeState& state, const SiRef& selected) {
+  std::uint64_t examined = 0;
   while (!state.reached_selected(selected)) {
     SiRef next;
-    if (!pick_smallest(state, selected.si, next)) break;  // nothing live left
+    if (!pick_smallest(state, selected.si, next, examined)) break;  // nothing live left
     state.commit(next);
   }
+  return examined;
 }
 
-void commit_smallest_step(UpgradeState& state, SiId si) {
+std::uint64_t commit_smallest_step(UpgradeState& state, SiId si) {
+  std::uint64_t examined = 0;
   SiRef next;
-  if (pick_smallest(state, si, next)) state.commit(next);
+  if (pick_smallest(state, si, next, examined)) state.commit(next);
+  return examined;
 }
 
 }  // namespace sched_detail
 
 Schedule FsfrScheduler::schedule(const ScheduleRequest& request) const {
   UpgradeState state(request);
+  std::uint64_t examined = 0;
   for (const SiRef& selected : by_importance(request))
-    sched_detail::upgrade_si_fully(state, selected);
+    examined += sched_detail::upgrade_si_fully(state, selected);
+  static MetricCounter& invocations = metric_counter("sched.fsfr.invocations");
+  static MetricCounter& candidates = metric_counter("sched.fsfr.candidates_evaluated");
+  invocations.add();
+  candidates.add(examined);
   return state.take_schedule();
 }
 

@@ -18,11 +18,13 @@ namespace sched_detail {
 /// Upgrades one SI to its selected molecule by repeatedly committing the
 /// live candidate of that SI needing the fewest additional atoms (ties:
 /// lower latency). Shared by FSFR (whole algorithm) and ASF/SJF (phase 2).
-void upgrade_si_fully(UpgradeState& state, const SiRef& selected);
+/// Returns how many live candidates were examined (the metrics registry's
+/// per-strategy candidate-evaluation count).
+std::uint64_t upgrade_si_fully(UpgradeState& state, const SiRef& selected);
 
 /// Commits the smallest live accelerating step of one SI, if any (ASF/SJF
-/// phase 1).
-void commit_smallest_step(UpgradeState& state, SiId si);
+/// phase 1). Returns the number of live candidates examined.
+std::uint64_t commit_smallest_step(UpgradeState& state, SiId si);
 }  // namespace sched_detail
 
 }  // namespace rispp

@@ -1,6 +1,7 @@
 #include "sched/hef.h"
 
 #include "base/check.h"
+#include "base/metrics.h"
 
 namespace rispp {
 
@@ -17,12 +18,14 @@ Schedule HefScheduler::schedule(const ScheduleRequest& request) const {
   // bestLatency array) and lines 13-16 (cleaning) inside live_candidates().
   UpgradeState state(request);
   if (counters_) ++counters_->invocations;
+  std::uint64_t examined = 0;
 
   // Lines 12-29: schedule the Molecule candidates.
   for (;;) {
     const auto& live = state.live_candidates();
     if (live.empty()) break;  // line 17
     if (counters_) ++counters_->rounds;
+    examined += live.size();
 
     // Lines 18-24: pick the highest-benefit candidate. bestBenefit starts at
     // 0 and the comparison is strict, so the first maximum wins — matching
@@ -54,6 +57,10 @@ Schedule HefScheduler::schedule(const ScheduleRequest& request) const {
     }
     state.commit(*chosen);
   }
+  static MetricCounter& invocations = metric_counter("sched.hef.invocations");
+  static MetricCounter& candidates = metric_counter("sched.hef.candidates_evaluated");
+  invocations.add();
+  candidates.add(examined);
   return state.take_schedule();
 }
 

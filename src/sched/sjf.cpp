@@ -1,20 +1,23 @@
 #include "sched/sjf.h"
 
+#include "base/metrics.h"
 #include "sched/fsfr.h"
 
 namespace rispp {
 
 Schedule SjfScheduler::schedule(const ScheduleRequest& request) const {
   UpgradeState state(request);
+  std::uint64_t examined = 0;
   // Phase 1 (like ASF): the smallest hardware molecule for each SI.
   for (const SiRef& selected : by_importance(request))
-    sched_detail::commit_smallest_step(state, selected.si);
+    examined += sched_detail::commit_smallest_step(state, selected.si);
 
   // Phase 2: globally smallest additional-atom step; ties by bigger
   // performance improvement (bestLatency - candidate latency).
   for (;;) {
     const auto& live = state.live_candidates();
     if (live.empty()) break;
+    examined += live.size();
     const SiRef* best = nullptr;
     unsigned best_atoms = 0;
     Cycles best_gain = 0;
@@ -32,6 +35,10 @@ Schedule SjfScheduler::schedule(const ScheduleRequest& request) const {
     }
     state.commit(*best);
   }
+  static MetricCounter& invocations = metric_counter("sched.sjf.invocations");
+  static MetricCounter& candidates = metric_counter("sched.sjf.candidates_evaluated");
+  invocations.add();
+  candidates.add(examined);
   return state.take_schedule();
 }
 

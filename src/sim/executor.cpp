@@ -1,6 +1,9 @@
 #include "sim/executor.h"
 
 #include "base/check.h"
+#include "base/clock.h"
+#include "base/metrics.h"
+#include "base/trace_event.h"
 
 namespace rispp {
 
@@ -31,15 +34,53 @@ Cycles ExecutionBackend::si_execution_span(std::span<const SiRun> runs, Cycles n
 
 namespace {
 
+/// One simulated-time trace row per replay run: a 'B'/'E' span per hot-spot
+/// instance on a fresh lane, so overlapping sweep cells never share a row.
+/// All names are interned because the trace flush runs at process exit.
+struct InstanceTraceRow {
+  bool enabled;
+  TraceLane lane = 0;
+  std::vector<const char*> names;
+
+  InstanceTraceRow(const WorkloadTrace& trace, const ExecutionBackend& backend)
+      : enabled(trace_enabled()) {
+    if (!enabled) return;
+    lane = trace_new_lane();
+    std::string label = "instances: ";
+    label += backend.name();
+    trace_name_lane(TraceTrack::kExecutor, lane, trace_intern(label));
+    names.reserve(trace.hot_spots.size());
+    for (const HotSpotInfo& h : trace.hot_spots)
+      names.push_back(trace_intern(h.name.empty() ? "hot spot" : h.name));
+  }
+  void begin(std::size_t hot_spot, Cycles at) const {
+    if (enabled)
+      trace_begin(TraceTrack::kExecutor, lane, names[hot_spot], us_from_cycles(at));
+  }
+  void end(std::size_t hot_spot, Cycles at) const {
+    if (enabled)
+      trace_end(TraceTrack::kExecutor, lane, names[hot_spot], us_from_cycles(at));
+  }
+};
+
+MetricCounter& hot_spot_entries_counter() {
+  static MetricCounter& entries = metric_counter("sim.hot_spot_entries");
+  return entries;
+}
+
 SimResult run_trace_scalar(const WorkloadTrace& trace, ExecutionBackend& backend,
                            SimStats* stats) {
   SimResult result;
   result.hot_spot_cycles.assign(trace.hot_spots.size(), 0);
+  const InstanceTraceRow row(trace, backend);
+  MetricCounter& entries = hot_spot_entries_counter();
   Cycles now = 0;
   for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
     const HotSpotInstance& inst = trace.instances[idx];
     const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
     const Cycles entered = now;
+    entries.add();
+    row.begin(inst.hot_spot, entered);
     now += inst.entry_overhead;
     backend.on_hot_spot_entry(trace, idx, now);
     for (SiId si : inst.executions) {
@@ -49,6 +90,7 @@ SimResult run_trace_scalar(const WorkloadTrace& trace, ExecutionBackend& backend
       ++result.si_executions;
     }
     backend.on_hot_spot_exit(now);
+    row.end(inst.hot_spot, now);
     result.hot_spot_cycles[inst.hot_spot] += now - entered;
   }
   result.total_cycles = now;
@@ -60,6 +102,8 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
                             SimStats* stats) {
   SimResult result;
   result.hot_spot_cycles.assign(trace.hot_spots.size(), 0);
+  const InstanceTraceRow row(trace, backend);
+  MetricCounter& entries = hot_spot_entries_counter();
   Cycles now = 0;
   std::vector<LatencySegment> segments;
   std::vector<SiRun> local_runs;  // fallback when the trace has no run form
@@ -67,6 +111,8 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
     const HotSpotInstance& inst = trace.instances[idx];
     const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
     const Cycles entered = now;
+    entries.add();
+    row.begin(inst.hot_spot, entered);
     now += inst.entry_overhead;
     backend.on_hot_spot_entry(trace, idx, now);
     const std::vector<SiRun>* runs = &inst.runs;
@@ -87,6 +133,7 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
                                       info.per_execution_overhead);
       result.si_executions += inst.executions.size();
       backend.on_hot_spot_exit(now);
+      row.end(inst.hot_spot, now);
       result.hot_spot_cycles[inst.hot_spot] += now - entered;
       continue;
     }
@@ -106,6 +153,7 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
       result.si_executions += run.count;
     }
     backend.on_hot_spot_exit(now);
+    row.end(inst.hot_spot, now);
     result.hot_spot_cycles[inst.hot_spot] += now - entered;
   }
   result.total_cycles = now;

@@ -259,6 +259,113 @@ TEST(RunReports, SuiteJsonRoundTripsThroughLoadBaseline) {
   fs::remove_all(suite.dir);
 }
 
+// --- metrics snapshots: per-child collection and the suite round trip ------
+
+TEST(ParseMetricsRecord, ReadsCountersAndGauges) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_metrics_record";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "METRICS.json";
+  std::ofstream(path) << "{\n  \"counters\": {\n    \"rtm.decision_cache.hits\": 12,\n"
+                         "    \"pool.steals\": 3\n  },\n"
+                         "  \"gauges\": {\n    \"sim.level\": 0.5\n  }\n}\n";
+  const auto metrics = parse_metrics_record(path);
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics.at("rtm.decision_cache.hits"), 12.0);
+  EXPECT_EQ(metrics.at("pool.steals"), 3.0);
+  EXPECT_EQ(metrics.at("sim.level"), 0.5);
+  fs::remove_all(dir);
+}
+
+TEST(ParseMetricsRecord, MissingFileIsEmptyNotAnError) {
+  const auto metrics =
+      parse_metrics_record(fs::path(::testing::TempDir()) / "rispp_no_such_metrics.json");
+  EXPECT_TRUE(metrics.empty());
+}
+
+TEST(ParseMetricsRecord, CorruptionThrows) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_metrics_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "METRICS.json";
+  // Trailing garbage (concatenated snapshots).
+  std::ofstream(path) << "{\"counters\": {\"a\": 1}}\n{\"counters\": {\"a\": 2}}\n";
+  EXPECT_THROW(parse_metrics_record(path), std::logic_error);
+  // A duplicated metric name would silently shadow the other occurrence.
+  std::ofstream(path, std::ios::trunc) << "{\"counters\": {\"a\": 1, \"a\": 2}}\n";
+  EXPECT_THROW(parse_metrics_record(path), std::logic_error);
+  // A non-numeric value can only be corruption.
+  std::ofstream(path, std::ios::trunc) << "{\"counters\": {\"a\": oops}}\n";
+  EXPECT_THROW(parse_metrics_record(path), std::logic_error);
+  fs::remove_all(dir);
+}
+
+TEST(RunReports, CollectsChildMetricsSnapshots) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_driver_metrics";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // A fake report that writes its registry snapshot to $RISPP_METRICS, the
+  // way init_metrics_from_env() does at exit in a real report.
+  const std::vector<fs::path> binaries = {write_script(
+      dir, "metricful",
+      "printf '{\\n  \"counters\": {\\n    \"child.counter\": 5\\n  },\\n"
+      "  \"gauges\": {\\n    \"child.gauge\": 1.5\\n  }\\n}\\n' > \"$RISPP_METRICS\"\n")};
+  DriverOptions options;
+  options.jobs = 1;
+  options.threads_per_child = 1;
+  options.out_dir = dir / "out";
+  std::ostringstream status;
+  const auto results = run_reports(binaries, options, status);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].exit_code, 0);
+  ASSERT_EQ(results[0].metrics.size(), 2u);
+  EXPECT_EQ(results[0].metrics.at("child.counter"), 5.0);
+  EXPECT_EQ(results[0].metrics.at("child.gauge"), 1.5);
+
+  // The suite record carries the nested metrics subobject, and load_baseline
+  // still reads the chunk correctly despite the nested braces.
+  const fs::path suite_path = options.out_dir / "BENCH_SUITE.json";
+  write_suite(results, 8, options, suite_path);
+  const std::string text = slurp(suite_path);
+  EXPECT_NE(text.find("\"metrics\": {\"child.counter\": 5, \"child.gauge\": 1.5}"),
+            std::string::npos)
+      << text;
+  const auto baseline = load_baseline(suite_path);
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_NEAR(baseline.at("metricful").wall_seconds, results[0].wall_seconds,
+              1e-4 * (1.0 + results[0].wall_seconds));
+  fs::remove_all(dir);
+}
+
+TEST(RunReports, TraceDirControlsChildTraceEnv) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "rispp_driver_trace_env";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // The fake report records what RISPP_TRACE it saw.
+  const std::vector<fs::path> binaries = {write_script(
+      dir, "tracer", "printf '%s' \"${RISPP_TRACE-unset}\" > \"$RISPP_BENCH_JSON_DIR/env.txt\"\n")};
+  DriverOptions options;
+  options.jobs = 1;
+  options.threads_per_child = 1;
+  options.out_dir = dir / "out";
+  options.trace_dir = dir / "traces";
+  std::ostringstream status;
+  (void)run_reports(binaries, options, status);
+  EXPECT_EQ(slurp(options.out_dir / "json" / "tracer" / "env.txt"),
+            (options.trace_dir / "tracer.trace.json").string());
+
+  // Without --trace-dir the child must see RISPP_TRACE *unset*, even when the
+  // driver process itself is being traced: children would otherwise all
+  // overwrite the parent's trace file at exit.
+  ::setenv("RISPP_TRACE", "/tmp/parent.trace.json", 1);
+  options.trace_dir.clear();
+  options.out_dir = dir / "out2";
+  (void)run_reports(binaries, options, status);
+  ::unsetenv("RISPP_TRACE");
+  EXPECT_EQ(slurp(options.out_dir / "json" / "tracer" / "env.txt"), "unset");
+  fs::remove_all(dir);
+}
+
 // --- scanner hardening: corrupted records are loud errors, never misreads --
 
 /// A syntactically complete suite file with one report entry, produced by the

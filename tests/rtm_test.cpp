@@ -236,6 +236,80 @@ TEST(RunTimeManager, PrefetchForecastSourceFollowsForecastMode) {
       << "static-seeds prefetch must consult the seeds, not the monitor";
 }
 
+TEST(RunTimeManager, DecisionCacheEvictsLeastRecentlyUsed) {
+  // Three hot spots with distinct SI lists are three distinct cache keys;
+  // capacity 2 forces eviction on every third distinct entry. `now` stays 0
+  // so the port never retires a load and the ready-atom part of the key is
+  // fixed; static seeds fix the forecast part.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  const SiId satd = set.find("SATD").value();
+  const SiId dct = set.find("(I)DCT").value();
+  WorkloadTrace trace;
+  trace.hot_spots = {HotSpotInfo{"A", {sad}, 8}, HotSpotInfo{"B", {satd}, 8},
+                     HotSpotInfo{"C", {dct}, 8}};
+  trace.instances = {HotSpotInstance{0, {}, 0}, HotSpotInstance{1, {}, 0},
+                     HotSpotInstance{2, {}, 0}};
+
+  HefScheduler hef;
+  RtmConfig config = config_with(&hef, 14);
+  config.forecast_mode = ForecastMode::kStaticSeeds;
+  config.decision_cache_capacity = 2;
+  RunTimeManager rtm(&set, 3, config);
+  rtm.seed_forecast(0, sad, 10'000);
+  rtm.seed_forecast(1, satd, 10'000);
+  rtm.seed_forecast(2, dct, 10'000);
+
+  const auto enter = [&](std::size_t instance) {
+    rtm.on_hot_spot_entry(trace, instance, 0);
+    rtm.on_hot_spot_exit(0);
+  };
+
+  enter(0);  // A: miss, cache [A]
+  enter(1);  // B: miss, cache [B, A]
+  EXPECT_EQ(rtm.decision_cache_misses(), 2u);
+  EXPECT_EQ(rtm.decision_cache_evictions(), 0u);
+
+  enter(0);  // A: hit — and A becomes most recent, cache [A, B]
+  EXPECT_EQ(rtm.decision_cache_hits(), 1u);
+
+  enter(2);  // C: miss past capacity — evicts B (the LRU), not A
+  EXPECT_EQ(rtm.decision_cache_evictions(), 1u);
+  EXPECT_EQ(rtm.decision_cache_size(), 2u);
+
+  enter(0);  // A: still a hit — proves the recency splice protected it
+  EXPECT_EQ(rtm.decision_cache_hits(), 2u);
+
+  enter(1);  // B: miss again — proves B was the one evicted; evicts C
+  EXPECT_EQ(rtm.decision_cache_misses(), 4u);
+  EXPECT_EQ(rtm.decision_cache_evictions(), 2u);
+
+  enter(2);  // C: miss (evicted above); evicts A
+  EXPECT_EQ(rtm.decision_cache_misses(), 5u);
+  EXPECT_EQ(rtm.decision_cache_evictions(), 3u);
+  EXPECT_EQ(rtm.decision_cache_size(), 2u);
+  EXPECT_EQ(rtm.decision_cache_hits(), 2u);
+}
+
+TEST(RunTimeManager, TinyDecisionCacheStaysBitExact) {
+  // Eviction-heavy configuration vs unlimited cache vs no cache: the full
+  // simulated run must be identical — a miss recomputes, never approximates.
+  const auto set = h264sis::build_h264_si_set();
+  const WorkloadTrace trace = me_trace(set, 6'000);
+  const auto total = [&](bool enable, std::size_t capacity) {
+    HefScheduler hef;
+    RtmConfig config = config_with(&hef, 14);
+    config.enable_decision_cache = enable;
+    config.decision_cache_capacity = capacity;
+    RunTimeManager rtm(&set, 3, config);
+    h264::seed_default_forecasts(set, rtm);
+    return run_trace(trace, rtm).total_cycles;
+  };
+  const Cycles reference = total(false, 4096);
+  EXPECT_EQ(total(true, 1), reference);
+  EXPECT_EQ(total(true, 4096), reference);
+}
+
 TEST(Molen, NoIntermediateAcceleration) {
   // Until the full selected molecule is loaded, Molen runs in software even
   // though a subset of its atoms is configured.

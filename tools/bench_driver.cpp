@@ -42,6 +42,9 @@ void usage(const char* argv0) {
                "                      after a fully green run, rewrite <path>\n"
                "                      (e.g. ci/bench_baseline.json) from this\n"
                "                      run's BENCH_SUITE.json\n"
+               "  --trace-dir <dir>   run every report with RISPP_TRACE set:\n"
+               "                      one <dir>/<name>.trace.json per report\n"
+               "                      (Chrome about://tracing / Perfetto format)\n"
                "  --no-warm           skip the trace-cache pre-warm\n"
                "  --list              print the discovered reports and exit\n",
                argv0);
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   fs::path out_dir = "bench-out";
   fs::path baseline_path;
   fs::path refresh_path;
+  fs::path trace_dir;
   std::string filter;
   std::vector<fs::path> explicit_binaries;
   unsigned jobs = 0;
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
       if (!n) { std::fprintf(stderr, "--threshold: not a percentage\n"); return 2; }
       threshold = static_cast<double>(*n) / 100.0;
     } else if (arg == "--refresh-baseline") refresh_path = next_arg(i, "--refresh-baseline");
+    else if (arg == "--trace-dir") trace_dir = next_arg(i, "--trace-dir");
     else if (arg == "--no-warm") warm = false;
     else if (arg == "--list") list_only = true;
     else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
@@ -139,6 +144,7 @@ int main(int argc, char** argv) {
   options.total_threads = total_threads;
   options.threads_per_child = std::max(1u, total_threads / options.jobs);
   options.out_dir = out_dir;
+  options.trace_dir = trace_dir;
 
   const int frames = bench::bench_frames();
   std::printf("rispp_bench: %zu reports, %u at a time, %u thread(s) each, %d frames\n",
