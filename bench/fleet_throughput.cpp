@@ -1,0 +1,53 @@
+// Fleet throughput: sessions/minute sustained by the batched multi-session
+// core (fleet::SessionBatch) on a fig7-like heterogeneous mix — mixed
+// H.264/JPEG content, all four scheduler strategies in rotation, AC budgets
+// 5..20 — plus per-session completion-latency percentiles and the
+// cross-session decision-cache hit rate.
+//
+// Shape to look for: sessions/min far above the 10k/min service target, a
+// cross-session hit rate approaching 1.0 (the fleet's whole point: session
+// N+1 replays decisions sessions 1..N already computed), and p99 latency a
+// small multiple of p50. The solo-equivalence contract behind these numbers
+// is enforced by tests/fleet_test.cpp, not here.
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+#include "fleet/session_batch.h"
+#include "fleet/spec.h"
+
+int main() {
+  using namespace rispp;
+  bench::BenchPerfLog perf("fleet_throughput");
+
+  // Sized so the CI frames knob scales the work: RISPP_FRAMES caps the
+  // session length range (default bench frames elsewhere; sessions stay
+  // short — fleet scale comes from the count, not the length).
+  const int frames = bench::bench_frames();
+  fleet::FleetSpec spec;
+  spec.sessions = 400;
+  spec.frames_min = 1;
+  spec.frames_max = frames < 8 ? frames : 8;
+  spec.schedulers = scheduler_names();
+  spec.acs_min = 5;
+  spec.acs_max = 20;
+  const auto sessions = fleet::expand_fleet_spec(spec);
+  perf.set_cells(sessions.size());
+
+  fleet::FleetOptions options;
+  const fleet::FleetReport report = fleet::run_fleet(sessions, options);
+
+  std::printf("Fleet throughput — %zu sessions, mixed h264/jpeg, %zu schedulers, "
+              "ACs %d..%d, frames %d..%d\n\n",
+              report.sessions, spec.schedulers.size(), spec.acs_min, spec.acs_max,
+              spec.frames_min, spec.frames_max);
+  TextTable table({"metric", "value"});
+  table.add("sessions/min", format_fixed(report.sessions_per_min, 0));
+  table.add("wall seconds", format_fixed(report.wall_seconds, 3));
+  table.add("latency p50 (ms)", format_fixed(report.latency_p50_ms, 2));
+  table.add("latency p99 (ms)", format_fixed(report.latency_p99_ms, 2));
+  table.add("cross-session hit rate", format_fixed(report.cross_session_hit_rate, 3));
+  table.add("cycles checksum", report.cycles_checksum);
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

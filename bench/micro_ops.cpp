@@ -11,6 +11,8 @@
 #include "bench/common.h"
 #include "dpg/enumerate.h"
 #include "dpg/list_scheduler.h"
+#include "fleet/session_batch.h"
+#include "h264/workload.h"
 #include "h264/interpolate.h"
 #include "h264/kernels.h"
 #include "h264/synthetic_video.h"
@@ -456,6 +458,97 @@ void BM_ParallelFor(benchmark::State& state) {
   state.SetLabel(std::to_string(pool.thread_count()) + " threads");
 }
 BENCHMARK(BM_ParallelFor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(parallel_thread_count()))
+    ->Unit(benchmark::kMillisecond);
+
+// SoA instance-major fleet stepping (fleet::SessionBatch) vs the per-object
+// loop (one full run_trace per session, back to back) over the same 32
+// identical short sessions. Items = sessions; the SoA rate should win on
+// cache residency (the shared trace instance is streamed once per block,
+// not once per session) plus the cross-session decision cache.
+void fleet_stepping_sessions(std::vector<fleet::SessionSpec>& specs) {
+  fleet::SessionSpec spec;
+  spec.content = fleet::Content::kH264;
+  spec.frames = 1;
+  spec.width = 96;
+  spec.height = 64;
+  specs.assign(32, spec);
+}
+
+void BM_FleetSoAStepping(benchmark::State& state) {
+  std::vector<fleet::SessionSpec> specs;
+  fleet_stepping_sessions(specs);
+  fleet::TraceRepository repo;
+  repo.get(specs.front());  // pre-generate: measure stepping, not encoding
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    fleet::SharedDecisionCache cache(1 << 12, 1);
+    fleet::FleetOptions options;
+    options.traces = &repo;
+    options.pool = &pool;
+    options.shared_cache = &cache;
+    options.block_size = static_cast<unsigned>(state.range(0));
+    fleet::SessionBatch batch(specs, options);
+    batch.run();
+    benchmark::DoNotOptimize(batch.result(specs.size() - 1).total_cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+  state.SetLabel("block " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FleetSoAStepping)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FleetPerObjectStepping(benchmark::State& state) {
+  std::vector<fleet::SessionSpec> specs;
+  fleet_stepping_sessions(specs);
+  fleet::TraceRepository repo;
+  const fleet::TraceEntry& entry = repo.get(specs.front());
+  const HefScheduler hef;
+  for (auto _ : state) {
+    Cycles last = 0;
+    for (const fleet::SessionSpec& spec : specs) {
+      RtmConfig config;
+      config.container_count = spec.container_count;
+      config.scheduler = &hef;
+      RunTimeManager rtm(&entry.set, entry.trace.hot_spots.size(), config);
+      h264::seed_default_forecasts(entry.set, rtm);
+      last = run_trace(entry.trace, rtm).total_cycles;
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_FleetPerObjectStepping)->Unit(benchmark::kMillisecond);
+
+// Cross-session steal latency: blocks deliberately dealt unevenly (one
+// worker owns everything) so every other worker must steal whole session
+// blocks. Items = sessions; compare the 1-thread rate (no stealing) to the
+// N-thread rate to read the steal overhead per block.
+void BM_FleetCrossSessionSteal(benchmark::State& state) {
+  std::vector<fleet::SessionSpec> specs;
+  fleet_stepping_sessions(specs);
+  fleet::TraceRepository repo;
+  repo.get(specs.front());
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    fleet::SharedDecisionCache cache(1 << 12, 4);
+    fleet::FleetOptions options;
+    options.traces = &repo;
+    options.pool = &pool;
+    options.shared_cache = &cache;
+    options.block_size = 2;  // many small blocks → many steal opportunities
+    fleet::SessionBatch batch(specs, options);
+    batch.run();
+    benchmark::DoNotOptimize(batch.result(specs.size() - 1).total_cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+  state.SetLabel(std::to_string(pool.thread_count()) + " threads");
+}
+BENCHMARK(BM_FleetCrossSessionSteal)
     ->Arg(1)
     ->Arg(2)
     ->Arg(static_cast<int>(parallel_thread_count()))

@@ -279,6 +279,7 @@ const char* trace_track_name(TraceTrack track) {
     case TraceTrack::kThreadPool: return "thread pool";
     case TraceTrack::kBench: return "bench driver";
     case TraceTrack::kMetrics: return "metrics";
+    case TraceTrack::kFleet: return "fleet";
   }
   return "?";
 }

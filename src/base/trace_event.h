@@ -42,8 +42,9 @@ enum class TraceTrack : std::uint8_t {
   kThreadPool,        // work-stealing pool jobs and steal instants
   kBench,             // one span per report under the rispp_bench driver
   kMetrics,           // final registry counter samples at flush
+  kFleet,             // one span per session under the fleet driver
 };
-inline constexpr std::size_t kTraceTrackCount = 6;
+inline constexpr std::size_t kTraceTrackCount = 7;
 
 /// Human name of a track ("reconfig port", ...), used as the Chrome
 /// process_name metadata.

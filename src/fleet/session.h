@@ -1,0 +1,38 @@
+// One fleet session: an independent simulated RTM run — which content it
+// replays, under which platform/scheduler configuration, and when it
+// arrives. Thousands of these are batched by fleet::SessionBatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtm/run_time_manager.h"
+
+namespace rispp::fleet {
+
+enum class Content : std::uint8_t {
+  kH264 = 0,  // synthetic CIF encode (the paper's workload)
+  kJpeg = 1,  // synthetic RGB image stream
+};
+
+struct SessionSpec {
+  Content content = Content::kH264;
+  /// Sequence length: H.264 frames or JPEG images.
+  int frames = 8;
+  /// Content dimensions; 0 = the content's default (CIF 352x288 for H.264,
+  /// 512x384 for JPEG).
+  int width = 0;
+  int height = 0;
+
+  /// Scheduler strategy name (sched/registry.h): "FSFR", "ASF", "SJF", "HEF".
+  std::string scheduler = "HEF";
+  unsigned container_count = 10;
+  ForecastMode forecast_mode = ForecastMode::kMonitored;
+
+  /// Arrival offset from the fleet's start, in wall milliseconds. A session
+  /// never starts before its arrival; completion latency is measured from
+  /// it. 0 = present at fleet start.
+  double arrival_ms = 0.0;
+};
+
+}  // namespace rispp::fleet

@@ -1,0 +1,189 @@
+#include "fleet/shared_decision_cache.h"
+
+#include <algorithm>
+
+#include "base/metrics.h"
+
+namespace rispp::fleet {
+
+namespace {
+
+MetricCounter& hit_metric() {
+  static MetricCounter& m = metric_counter("fleet.decision_cache.hits");
+  return m;
+}
+MetricCounter& miss_metric() {
+  static MetricCounter& m = metric_counter("fleet.decision_cache.misses");
+  return m;
+}
+MetricCounter& eviction_metric() {
+  static MetricCounter& m = metric_counter("fleet.decision_cache.evictions");
+  return m;
+}
+MetricCounter& cross_metric() {
+  static MetricCounter& m = metric_counter("fleet.decision_cache.cross_session_hits");
+  return m;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SharedDecisionCache::SharedDecisionCache(std::size_t capacity, unsigned shards)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  const std::size_t count = round_up_pow2(std::max(1u, shards));
+  shard_mask_ = count - 1;
+  shard_capacity_ = std::max<std::size_t>(1, capacity_ / count);
+  shards_ = std::vector<Shard>(count);
+}
+
+SharedDecisionCache::DomainId SharedDecisionCache::register_domain(
+    std::uint64_t set_fingerprint, std::string_view scheduler,
+    Cycles payback_cycles_per_atom) {
+  std::lock_guard<std::mutex> lock(domains_mutex_);
+  for (DomainId id = 0; id < domains_.size(); ++id) {
+    const Domain& d = domains_[id];
+    if (d.set_fingerprint == set_fingerprint && d.scheduler == scheduler &&
+        d.payback == payback_cycles_per_atom)
+      return id;
+  }
+  domains_.push_back(Domain{set_fingerprint, std::string(scheduler), payback_cycles_per_atom});
+  return static_cast<DomainId>(domains_.size() - 1);
+}
+
+std::uint64_t SharedDecisionCache::key_hash(DomainId domain, const std::vector<SiId>& sis,
+                                            const std::vector<std::uint64_t>& forecast,
+                                            const Molecule& ready, unsigned budget) {
+  std::uint64_t hash = fingerprint_mix(fingerprint_mix(0, domain), sis.size());
+  for (SiId si : sis) hash = fingerprint_mix(hash, si);
+  for (std::uint64_t f : forecast) hash = fingerprint_mix(hash, f);
+  for (std::size_t t = 0; t < ready.dimension(); ++t) hash = fingerprint_mix(hash, ready[t]);
+  return fingerprint_mix(hash, budget);
+}
+
+bool SharedDecisionCache::lookup(DomainId domain, std::uint64_t session,
+                                 const std::vector<SiId>& sis,
+                                 const std::vector<std::uint64_t>& forecast,
+                                 const Molecule& ready, unsigned budget,
+                                 SharedDecision& out) {
+  const std::uint64_t hash = key_hash(domain, sis, forecast, ready, budget);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto bucket_it = shard.buckets.find(hash);
+  if (bucket_it != shard.buckets.end()) {
+    for (const auto entry_it : bucket_it->second) {
+      if (entry_it->domain == domain && entry_it->budget == budget &&
+          entry_it->sis == sis && entry_it->forecast == forecast &&
+          entry_it->ready == ready) {
+        ++shard.hits;
+        hit_metric().add();
+        if (entry_it->session != session) {
+          ++shard.cross_session_hits;
+          cross_metric().add();
+        }
+        shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+        out = entry_it->decision;  // copy out: the entry may be evicted next
+        return true;
+      }
+    }
+  }
+  ++shard.misses;
+  miss_metric().add();
+  return false;
+}
+
+void SharedDecisionCache::insert(DomainId domain, std::uint64_t session,
+                                 const std::vector<SiId>& sis,
+                                 const std::vector<std::uint64_t>& forecast,
+                                 const Molecule& ready, unsigned budget,
+                                 const SharedDecision& decision) {
+  const std::uint64_t hash = key_hash(domain, sis, forecast, ready, budget);
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // A racing session may have inserted the same key since our miss; keeping
+  // the first copy preserves its LRU position and session tag.
+  const auto bucket_it = shard.buckets.find(hash);
+  if (bucket_it != shard.buckets.end()) {
+    for (const auto entry_it : bucket_it->second)
+      if (entry_it->domain == domain && entry_it->budget == budget &&
+          entry_it->sis == sis && entry_it->forecast == forecast &&
+          entry_it->ready == ready)
+        return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    const auto victim = std::prev(shard.lru.end());
+    auto& victim_bucket = shard.buckets[victim->hash];
+    victim_bucket.erase(std::find(victim_bucket.begin(), victim_bucket.end(), victim));
+    if (victim_bucket.empty()) shard.buckets.erase(victim->hash);
+    shard.lru.erase(victim);
+    ++shard.evictions;
+    eviction_metric().add();
+  }
+  shard.lru.emplace_front();
+  Entry& entry = shard.lru.front();
+  entry.domain = domain;
+  entry.session = session;
+  entry.sis = sis;
+  entry.forecast = forecast;
+  entry.ready = ready;
+  entry.budget = budget;
+  entry.hash = hash;
+  entry.decision = decision;
+  shard.buckets[hash].push_back(shard.lru.begin());
+}
+
+std::uint64_t SharedDecisionCache::hits() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.hits;
+  }
+  return total;
+}
+
+std::uint64_t SharedDecisionCache::misses() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.misses;
+  }
+  return total;
+}
+
+std::uint64_t SharedDecisionCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.evictions;
+  }
+  return total;
+}
+
+std::uint64_t SharedDecisionCache::cross_session_hits() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.cross_session_hits;
+  }
+  return total;
+}
+
+std::size_t SharedDecisionCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.lru.size();
+  }
+  return total;
+}
+
+SharedDecisionCache& SharedDecisionCache::global() {
+  static SharedDecisionCache* cache = new SharedDecisionCache();
+  return *cache;
+}
+
+}  // namespace rispp::fleet

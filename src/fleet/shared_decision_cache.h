@@ -1,0 +1,129 @@
+// Process-wide, thread-safe RTM decision cache shared across sessions.
+//
+// The per-RTM decision cache (rtm/run_time_manager.h, DESIGN §6.2) memoizes
+// the selection→schedule pipeline on (hot-spot SIs, forecast, ready atoms,
+// budget) — a key that is complete only because the SI set, the scheduler
+// strategy and the payback constant are per-RTM constants. In a fleet,
+// thousands of sessions replay the same handful of contents under the same
+// handful of scheduler/AC configs, so their decision keys collide massively
+// *across* sessions: this cache hoists the memo to the process, keyed
+// additionally on a registered "domain" (SI-set fingerprint, scheduler name,
+// payback constant — the per-RTM constants made explicit), so session B hits
+// decisions session A computed. Replaying a hit stays bit-exact by the same
+// argument as the per-RTM cache: the value is a pure function of the full
+// key, and the domain makes the key complete across heterogeneous sessions.
+//
+// Concurrency: the cache is sharded by key digest; each shard holds its own
+// mutex, LRU list and digest→entry buckets, so concurrent sessions on the
+// work-stealing pool contend only when their keys land in the same shard.
+// A hit copies the decision out under the shard lock (entries may be evicted
+// by other sessions the moment the lock drops). Hash collisions degrade to a
+// full key compare — including the exact domain id — never to a wrong
+// decision.
+//
+// Metrics: fleet.decision_cache.{hits,misses,evictions,cross_session_hits};
+// cross_session_hits counts hits on entries inserted by a *different*
+// session — the number that should climb with fleet size.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+#include "isa/si.h"
+
+namespace rispp::fleet {
+
+/// The memoized result of one selection→schedule decision.
+struct SharedDecision {
+  std::vector<SiRef> selection;
+  std::vector<AtomTypeId> loads;
+};
+
+class SharedDecisionCache {
+ public:
+  /// `capacity` bounds the total entry count across all shards (LRU per
+  /// shard); `shards` is rounded up to a power of two.
+  explicit SharedDecisionCache(std::size_t capacity = 1 << 16, unsigned shards = 16);
+
+  /// A domain is the tuple of per-RTM constants the per-session cache key
+  /// left implicit. Registration interns the exact tuple (same tuple → same
+  /// id), so entry comparison on the id is an exact key compare, not a hash
+  /// compare.
+  using DomainId = std::uint32_t;
+  DomainId register_domain(std::uint64_t set_fingerprint, std::string_view scheduler,
+                           Cycles payback_cycles_per_atom);
+
+  /// Looks up the decision for the full key; on a hit copies it into `out`
+  /// and returns true. `session` identifies the caller for the
+  /// cross-session-hit metric.
+  bool lookup(DomainId domain, std::uint64_t session, const std::vector<SiId>& sis,
+              const std::vector<std::uint64_t>& forecast, const Molecule& ready,
+              unsigned budget, SharedDecision& out);
+
+  /// Inserts a freshly computed decision. A concurrent insert of the same
+  /// key by another session is benign: the value is a pure function of the
+  /// key, so whichever copy survives replays identically.
+  void insert(DomainId domain, std::uint64_t session, const std::vector<SiId>& sis,
+              const std::vector<std::uint64_t>& forecast, const Molecule& ready,
+              unsigned budget, const SharedDecision& decision);
+
+  // -- Introspection ----------------------------------------------------
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  /// Hits on entries inserted by a different session than the one looking up.
+  std::uint64_t cross_session_hits() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// The process-wide instance the fleet driver shares across every session.
+  static SharedDecisionCache& global();
+
+ private:
+  struct Entry {
+    DomainId domain = 0;
+    std::uint64_t session = 0;  // inserter (cross-session-hit accounting)
+    std::vector<SiId> sis;
+    std::vector<std::uint64_t> forecast;
+    Molecule ready;
+    unsigned budget = 0;
+    std::uint64_t hash = 0;
+    SharedDecision decision;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> buckets;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t cross_session_hits = 0;
+  };
+
+  static std::uint64_t key_hash(DomainId domain, const std::vector<SiId>& sis,
+                                const std::vector<std::uint64_t>& forecast,
+                                const Molecule& ready, unsigned budget);
+  Shard& shard_for(std::uint64_t hash) { return shards_[hash & shard_mask_]; }
+
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
+
+  std::mutex domains_mutex_;
+  struct Domain {
+    std::uint64_t set_fingerprint;
+    std::string scheduler;
+    Cycles payback;
+  };
+  std::vector<Domain> domains_;
+};
+
+}  // namespace rispp::fleet

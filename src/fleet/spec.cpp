@@ -1,0 +1,136 @@
+#include "fleet/spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "base/env.h"
+#include "base/prng.h"
+#include "sched/registry.h"
+
+namespace rispp::fleet {
+
+namespace {
+
+[[noreturn]] void die(const char* label, const char* text, const char* expected) {
+  std::fprintf(stderr, "%s=%s does not parse: expected %s\n", label, text, expected);
+  std::exit(kEnvParseExitCode);
+}
+
+std::vector<std::string> split_commas(std::string_view text) {
+  std::vector<std::string> parts;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    parts.emplace_back(text.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return parts;
+}
+
+}  // namespace
+
+void parse_mix_or_die(const char* label, const char* text, FleetSpec& spec) {
+  constexpr const char* kExpected = "a weight list like \"h264=4,jpeg=1\"";
+  if (text == nullptr || *text == '\0') die(label, text == nullptr ? "" : text, kExpected);
+  unsigned h264 = 0;
+  unsigned jpeg = 0;
+  for (const std::string& part : split_commas(text)) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) die(label, text, kExpected);
+    const std::string kind = part.substr(0, eq);
+    const auto weight = parse_int_strict(part.c_str() + eq + 1, 0, 1'000'000);
+    if (!weight) die(label, text, kExpected);
+    if (kind == "h264")
+      h264 = static_cast<unsigned>(*weight);
+    else if (kind == "jpeg")
+      jpeg = static_cast<unsigned>(*weight);
+    else
+      die(label, text, kExpected);
+  }
+  if (h264 + jpeg == 0) die(label, text, "at least one positive weight");
+  spec.h264_weight = h264;
+  spec.jpeg_weight = jpeg;
+}
+
+void parse_range_or_die(const char* label, const char* text, long min_value,
+                        long max_value, int& lo, int& hi) {
+  constexpr const char* kExpected = "an integer or a range like \"2..8\"";
+  if (text == nullptr || *text == '\0') die(label, text == nullptr ? "" : text, kExpected);
+  const std::string_view view(text);
+  const std::size_t dots = view.find("..");
+  if (dots == std::string_view::npos) {
+    const auto value = parse_int_strict(text, min_value, max_value);
+    if (!value) die(label, text, kExpected);
+    lo = hi = static_cast<int>(*value);
+    return;
+  }
+  const std::string first(view.substr(0, dots));
+  const std::string second(view.substr(dots + 2));
+  const auto lo_value = parse_int_strict(first.c_str(), min_value, max_value);
+  const auto hi_value = parse_int_strict(second.c_str(), min_value, max_value);
+  if (!lo_value || !hi_value || *lo_value > *hi_value) die(label, text, kExpected);
+  lo = static_cast<int>(*lo_value);
+  hi = static_cast<int>(*hi_value);
+}
+
+std::vector<std::string> parse_schedulers_or_die(const char* label, const char* text) {
+  if (text == nullptr || *text == '\0')
+    die(label, text == nullptr ? "" : text, "a scheduler list like \"HEF,SJF\"");
+  const std::vector<std::string> known = scheduler_names();
+  std::vector<std::string> names = split_commas(text);
+  for (const std::string& name : names)
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::string expected = "scheduler names from {";
+      for (std::size_t i = 0; i < known.size(); ++i) {
+        if (i != 0) expected += ", ";
+        expected += known[i];
+      }
+      expected += "}";
+      die(label, text, expected.c_str());
+    }
+  return names;
+}
+
+double parse_arrival_or_die(const char* label, const char* text) {
+  constexpr const char* kExpected = "\"all\" or \"uniform:<sessions_per_min>\"";
+  if (text == nullptr || *text == '\0') die(label, text == nullptr ? "" : text, kExpected);
+  if (std::strcmp(text, "all") == 0) return 0.0;
+  constexpr std::string_view kUniform = "uniform:";
+  const std::string_view view(text);
+  if (view.substr(0, kUniform.size()) != kUniform) die(label, text, kExpected);
+  const std::string rate(view.substr(kUniform.size()));
+  const auto per_min = parse_int_strict(rate.c_str(), 1, 100'000'000);
+  if (!per_min) die(label, text, kExpected);
+  return static_cast<double>(*per_min);
+}
+
+void apply_fleet_env(FleetSpec& spec) {
+  spec.sessions =
+      static_cast<int>(parse_env_int("RISPP_SESSIONS", spec.sessions, 1, 10'000'000));
+}
+
+std::vector<SessionSpec> expand_fleet_spec(const FleetSpec& spec) {
+  Xoshiro256 prng(spec.seed);
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(static_cast<std::size_t>(std::max(spec.sessions, 0)));
+  const double spacing_ms =
+      spec.arrival_per_min > 0.0 ? 60'000.0 / spec.arrival_per_min : 0.0;
+  const std::uint64_t total_weight = spec.h264_weight + spec.jpeg_weight;
+  for (int s = 0; s < spec.sessions; ++s) {
+    SessionSpec session;
+    session.content =
+        prng.bounded(total_weight) < spec.h264_weight ? Content::kH264 : Content::kJpeg;
+    session.frames = static_cast<int>(prng.range(spec.frames_min, spec.frames_max));
+    session.scheduler = spec.schedulers[prng.bounded(spec.schedulers.size())];
+    session.container_count =
+        static_cast<unsigned>(prng.range(spec.acs_min, spec.acs_max));
+    session.arrival_ms = spacing_ms * static_cast<double>(s);
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+}  // namespace rispp::fleet

@@ -1,0 +1,73 @@
+// Fleet-mix specification and its strict parsers.
+//
+// A FleetSpec describes a population of sessions compactly — how many, the
+// content mix, the length range, the scheduler strategies in rotation, the
+// platform-size range, and the arrival schedule — and expand_fleet_spec
+// deterministically expands it into concrete SessionSpecs with a seeded
+// PRNG, so the same spec always yields byte-identical fleets (the
+// equivalence tests and the CI smoke job depend on that).
+//
+// Parsing follows the base/env contract: a value that does not parse prints
+// a diagnostic naming the offending variable or flag and exits with
+// kEnvParseExitCode (2). Silent fallback on a typo'd fleet spec would burn a
+// whole throughput run before anyone noticed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/session.h"
+
+namespace rispp::fleet {
+
+struct FleetSpec {
+  /// Session count; RISPP_SESSIONS / --sessions.
+  int sessions = 1000;
+  /// Content mix weights; --mix "h264=4,jpeg=1". Zero weight drops a kind.
+  unsigned h264_weight = 4;
+  unsigned jpeg_weight = 1;
+  /// Sequence-length range (inclusive); --frames "2..8" or a single "4".
+  int frames_min = 2;
+  int frames_max = 8;
+  /// Scheduler strategies in rotation; --schedulers "HEF,SJF". Every name
+  /// must come from sched/registry's scheduler_names().
+  std::vector<std::string> schedulers = {"HEF"};
+  /// Atom-container count range (inclusive); --acs "5..20" or "10".
+  int acs_min = 10;
+  int acs_max = 10;
+  /// Arrival schedule; --arrival "all" (everyone present at start, 0) or
+  /// "uniform:<sessions_per_min>" (evenly spaced arrivals at that rate).
+  double arrival_per_min = 0.0;
+  /// PRNG seed for the expansion; --seed.
+  std::uint64_t seed = 1;
+};
+
+/// Parses "h264=4,jpeg=1" (either kind may be omitted; at least one weight
+/// must be positive) into the spec's weights. `label` names the flag or
+/// variable in the diagnostic. Exits kEnvParseExitCode on garbage.
+void parse_mix_or_die(const char* label, const char* text, FleetSpec& spec);
+
+/// Parses "lo..hi" or a single "v" into an inclusive range within
+/// [min_value, max_value] with lo <= hi. Exits kEnvParseExitCode on garbage.
+void parse_range_or_die(const char* label, const char* text, long min_value,
+                        long max_value, int& lo, int& hi);
+
+/// Parses a comma-separated scheduler list, validating every name against
+/// scheduler_names(). Exits kEnvParseExitCode on an unknown name.
+std::vector<std::string> parse_schedulers_or_die(const char* label, const char* text);
+
+/// Parses "all" or "uniform:<per_min>" into an arrival rate (0 = all at
+/// start). Exits kEnvParseExitCode on garbage.
+double parse_arrival_or_die(const char* label, const char* text);
+
+/// Reads the RISPP_SESSIONS environment variable into spec.sessions (strict:
+/// garbage exits kEnvParseExitCode naming the variable; unset leaves the
+/// spec untouched).
+void apply_fleet_env(FleetSpec& spec);
+
+/// Deterministically expands the spec into concrete sessions with a
+/// Xoshiro256 seeded from spec.seed. Same spec, same fleet — always.
+std::vector<SessionSpec> expand_fleet_spec(const FleetSpec& spec);
+
+}  // namespace rispp::fleet

@@ -1,5 +1,6 @@
 #include "h264/encoder.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -232,40 +233,58 @@ FrameResult Encoder::encode_frame(const Frame& input, FrameSiTrace* trace) {
       for (const auto& row : row_ee) trace->ee.insert(trace->ee.end(), row.begin(), row.end());
   }
 
-  // ---- Loop Filter hot spot (serial: cheap, and each MB reads pixels two
-  // rows of filtering history deep) -----------------------------------------
-  for (int my = 0; my < mbs_y; ++my) {
-    for (int mx = 0; mx < mbs_x; ++mx) {
-      const int mb = my * mbs_x + mx;
-      const int px = mx * kMbSize, py = my * kMbSize;
+  // ---- Loop Filter hot spot (wavefront, two-MB lag per row) -------------
+  {
+    std::vector<std::vector<SiId>> row_lf(trace != nullptr ? mbs_y : 0);
+    const auto lf_done = make_progress();
+    pool.parallel_for(static_cast<std::size_t>(mbs_y), [&](std::size_t row) {
+      const int my = static_cast<int>(row);
+      for (int mx = 0; mx < mbs_x; ++mx) {
+        // The horizontal filter reads three rows up — pixels the row above
+        // finishes writing with MB (mx+1, my-1)'s vertical filter — and
+        // writes two rows up, pixels that same MB's vertical filter reads:
+        // both the true and the anti dependency are satisfied once the row
+        // above is two MBs ahead.
+        if (my > 0) {
+          const int need = std::min(mx + 2, mbs_x);
+          while (lf_done[my - 1].load(std::memory_order_acquire) < need)
+            std::this_thread::yield();
+        }
+        const int mb = my * mbs_x + mx;
+        const int px = mx * kMbSize, py = my * kMbSize;
 
-      auto strong_edge_v = [&]() {
-        if (mx == 0) return false;
-        if (decisions_[mb].intra || decisions_[mb - 1].intra) return true;
-        // Blockiness: mean gradient across the edge.
-        int grad = 0;
-        for (int y = 0; y < 16; ++y)
-          grad += std::abs(recon_.y.at(px, py + y) - recon_.y.at(px - 1, py + y));
-        return grad / 16 >= config_.strong_edge_threshold;
-      };
-      auto strong_edge_h = [&]() {
-        if (my == 0) return false;
-        if (decisions_[mb].intra || decisions_[mb - mbs_x].intra) return true;
-        int grad = 0;
-        for (int x = 0; x < 16; ++x)
-          grad += std::abs(recon_.y.at(px + x, py) - recon_.y.at(px + x, py - 1));
-        return grad / 16 >= config_.strong_edge_threshold;
-      };
+        auto strong_edge_v = [&]() {
+          if (mx == 0) return false;
+          if (decisions_[mb].intra || decisions_[mb - 1].intra) return true;
+          // Blockiness: mean gradient across the edge.
+          int grad = 0;
+          for (int y = 0; y < 16; ++y)
+            grad += std::abs(recon_.y.at(px, py + y) - recon_.y.at(px - 1, py + y));
+          return grad / 16 >= config_.strong_edge_threshold;
+        };
+        auto strong_edge_h = [&]() {
+          if (my == 0) return false;
+          if (decisions_[mb].intra || decisions_[mb - mbs_x].intra) return true;
+          int grad = 0;
+          for (int x = 0; x < 16; ++x)
+            grad += std::abs(recon_.y.at(px + x, py) - recon_.y.at(px + x, py - 1));
+          return grad / 16 >= config_.strong_edge_threshold;
+        };
 
-      if (strong_edge_v()) {
-        deblock_bs4_vertical(recon_.y, px, py, config_.deblock);
-        if (trace != nullptr) trace->lf.push_back(ids_.lf_bs4);
+        if (strong_edge_v()) {
+          deblock_bs4_vertical(recon_.y, px, py, config_.deblock);
+          if (trace != nullptr) row_lf[my].push_back(ids_.lf_bs4);
+        }
+        if (strong_edge_h()) {
+          deblock_bs4_horizontal(recon_.y, px, py, config_.deblock);
+          if (trace != nullptr) row_lf[my].push_back(ids_.lf_bs4);
+        }
+        lf_done[my].store(mx + 1, std::memory_order_release);
       }
-      if (strong_edge_h()) {
-        deblock_bs4_horizontal(recon_.y, px, py, config_.deblock);
-        if (trace != nullptr) trace->lf.push_back(ids_.lf_bs4);
-      }
-    }
+    });
+    // Raster-order fold keeps the LF trace identical to the serial filter.
+    if (trace != nullptr)
+      for (const auto& row : row_lf) trace->lf.insert(trace->lf.end(), row.begin(), row.end());
   }
 
   frame_bits_.align();

@@ -65,12 +65,15 @@ class Encoder {
   /// Encodes one frame; appends SI executions to `trace` if non-null.
   /// The first frame is always intra.
   ///
-  /// ME and EE evaluate macroblock rows as a wavefront on the thread pool
-  /// (set_thread_pool; default: ThreadPool::global()): row r's motion search
-  /// waits for one finished MB of row r-1 (top MV predictor), and its
+  /// ME, EE and LF evaluate macroblock rows as a wavefront on the thread
+  /// pool (set_thread_pool; default: ThreadPool::global()): row r's motion
+  /// search waits for one finished MB of row r-1 (top MV predictor), its
   /// encoding engine trails row r-1 by one MB (top reconstruction for IPred
-  /// VDC, top coded MV). Per-row SI events and entropy bits are folded back
-  /// in row order, so trace and payload are identical for any thread count.
+  /// VDC, top coded MV), and its deblocking filter trails row r-1 by two MBs
+  /// (the horizontal filter reads pixels the row above finishes with MB
+  /// mx+1's vertical filter, and writes pixels that same filter reads).
+  /// Per-row SI events and entropy bits are folded back in row order, so
+  /// trace and payload are identical for any thread count.
   FrameResult encode_frame(const Frame& input, FrameSiTrace* trace);
 
   /// Pool used for the wavefront; nullptr (default) means the global pool.

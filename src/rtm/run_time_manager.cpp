@@ -36,6 +36,9 @@ RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot
     payback_cycles_per_atom_ =
         cycles_from_us(config_.bitstream.average_reconfig_us(set_->library())) /
         config_.payback_horizon;
+  if (config_.shared_decision_cache != nullptr)
+    shared_domain_ = config_.shared_decision_cache->register_domain(
+        fingerprint(*set_), config_.scheduler->name(), payback_cycles_per_atom_);
 }
 
 void RunTimeManager::seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected) {
@@ -212,6 +215,33 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
   static MetricCounter& miss_metric = metric_counter("rtm.decision_cache.misses");
   static MetricCounter& eviction_metric = metric_counter("rtm.decision_cache.evictions");
 
+  if (config_.shared_decision_cache != nullptr) {
+    // Fleet mode: memoize through the process-wide cache so identical
+    // decisions computed by other sessions replay here. The hit copies into
+    // shared_scratch_ under the shard lock (the cache entry may be evicted
+    // concurrently); the per-RTM counters keep counting so introspection and
+    // fig8-style analysis work unchanged.
+    fleet::SharedDecisionCache& cache = *config_.shared_decision_cache;
+    if (cache.lookup(shared_domain_, config_.session_id, sis, forecast, ready, budget,
+                     shared_scratch_)) {
+      ++decision_cache_hits_;
+      hit_metric.add();
+      uncached_decision_.selection = std::move(shared_scratch_.selection);
+      uncached_decision_.loads = std::move(shared_scratch_.loads);
+      return uncached_decision_;
+    }
+    ++decision_cache_misses_;
+    miss_metric.add();
+    trace_begin_now(TraceTrack::kRtm, "decide");
+    compute_decision(sis, forecast, budget, ready, uncached_decision_);
+    trace_end_now(TraceTrack::kRtm, "decide");
+    shared_scratch_.selection = uncached_decision_.selection;
+    shared_scratch_.loads = uncached_decision_.loads;
+    cache.insert(shared_domain_, config_.session_id, sis, forecast, ready, budget,
+                 shared_scratch_);
+    return uncached_decision_;
+  }
+
   DecisionEntry* out = nullptr;
   if (config_.enable_decision_cache) {
     // FNV-1a digest of the full key; the bucket scan below compares the key
@@ -267,28 +297,33 @@ const RunTimeManager::DecisionEntry& RunTimeManager::decide(
   // The selection→schedule pipeline is the expensive path worth seeing on
   // the timeline; cache hits above return in nanoseconds and stay silent.
   trace_begin_now(TraceTrack::kRtm, "decide");
-
-  SelectionRequest sel_req;
-  sel_req.set = set_;
-  sel_req.hot_spot_sis = sis;
-  sel_req.expected_executions = forecast;
-  sel_req.container_count = budget;
-  out->selection = select_molecules(sel_req);
-
-  ScheduleRequest sched_req;
-  sched_req.set = set_;
-  sched_req.selected = out->selection;
-  sched_req.available = ready;
-  sched_req.expected_executions = forecast;
-  sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
-  Schedule schedule = config_.scheduler->schedule(sched_req);
-  out->loads = std::move(schedule.loads);
-
+  compute_decision(sis, forecast, budget, ready, *out);
   trace_end_now(TraceTrack::kRtm, "decide");
   if (trace_enabled())
     trace_counter_now(TraceTrack::kRtm, "decision cache misses",
                       static_cast<double>(decision_cache_misses_));
   return *out;
+}
+
+void RunTimeManager::compute_decision(const std::vector<SiId>& sis,
+                                      const std::vector<std::uint64_t>& forecast,
+                                      unsigned budget, const Molecule& ready,
+                                      DecisionEntry& out) {
+  SelectionRequest sel_req;
+  sel_req.set = set_;
+  sel_req.hot_spot_sis = sis;
+  sel_req.expected_executions = forecast;
+  sel_req.container_count = budget;
+  out.selection = select_molecules(sel_req);
+
+  ScheduleRequest sched_req;
+  sched_req.set = set_;
+  sched_req.selected = out.selection;
+  sched_req.available = ready;
+  sched_req.expected_executions = forecast;
+  sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
+  Schedule schedule = config_.scheduler->schedule(sched_req);
+  out.loads = std::move(schedule.loads);
 }
 
 void RunTimeManager::refresh_cache() {

@@ -23,6 +23,7 @@
 
 #include "base/trace_event.h"
 
+#include "fleet/shared_decision_cache.h"
 #include "hw/atom_container.h"
 #include "hw/bitstream.h"
 #include "hw/reconfig_port.h"
@@ -69,6 +70,17 @@ struct RtmConfig {
   /// is evicted (misses recompute, so any capacity stays bit-exact).
   /// Steady-state workloads sit far below the default.
   std::size_t decision_cache_capacity = 4096;
+  /// Process-wide decision cache shared across sessions (src/fleet). When
+  /// set it replaces the per-instance cache above: decide() registers this
+  /// RTM's constants (SI-set fingerprint, scheduler name, payback) as a
+  /// cache domain and memoizes through the shared cache, so identical
+  /// decisions computed by *other* sessions replay here. Bit-exact for the
+  /// same reason the per-instance cache is: the domain makes the key
+  /// complete. Not owned; must outlive the RTM.
+  fleet::SharedDecisionCache* shared_decision_cache = nullptr;
+  /// Identity of the owning session — only used for the shared cache's
+  /// cross-session hit accounting, never for decisions.
+  std::uint64_t session_id = 0;
 };
 
 class RunTimeManager final : public ExecutionBackend {
@@ -128,6 +140,10 @@ class RunTimeManager final : public ExecutionBackend {
   const DecisionEntry& decide(const std::vector<SiId>& sis,
                               const std::vector<std::uint64_t>& forecast,
                               unsigned budget);
+  /// The uncached selection→schedule pipeline behind decide().
+  void compute_decision(const std::vector<SiId>& sis,
+                        const std::vector<std::uint64_t>& forecast, unsigned budget,
+                        const Molecule& ready, DecisionEntry& out);
 
   const SpecialInstructionSet* set_;
   RtmConfig config_;
@@ -162,7 +178,9 @@ class RunTimeManager final : public ExecutionBackend {
   std::uint64_t decision_cache_hits_ = 0;
   std::uint64_t decision_cache_misses_ = 0;
   std::uint64_t decision_cache_evictions_ = 0;
-  DecisionEntry uncached_decision_;      // result slot when the cache is off
+  DecisionEntry uncached_decision_;      // result slot (cache off / shared cache)
+  fleet::SharedDecisionCache::DomainId shared_domain_ = 0;
+  fleet::SharedDecision shared_scratch_;        // shared-cache copy-in/out slot
   std::vector<std::uint64_t> oracle_forecast_;  // per-entry scratch (kOracle)
   std::vector<SiId> prefetch_sis_;              // per-entry scratch (prefetch)
 

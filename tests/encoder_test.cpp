@@ -79,12 +79,20 @@ TEST(Encoder, MotionPhaseModulatesSearchEffort) {
 TEST(Encoder, WavefrontDeterminism) {
   // The wavefront-parallel encoder must reproduce the single-thread trace
   // event for event at any thread count — the trace cache is keyed without
-  // the thread count on exactly this guarantee.
+  // the thread count on exactly this guarantee. All three hot spots run as
+  // wavefronts (ME/EE with a one-MB lag, the deblocking LF with a two-MB
+  // lag), so the comparison must see every kind of instance; in particular
+  // a trace without LF executions would vacuously pass the filter check.
   const auto set = h264sis::build_h264_si_set();
   auto config = small_config(5);
   config.encode_threads = 1;
   const auto reference = generate_h264_workload(set, config);
-  for (int threads : {2, 8}) {
+  std::size_t reference_lf_executions = 0;
+  for (const auto& inst : reference.trace.instances)
+    if (inst.hot_spot == kHotSpotLf) reference_lf_executions += inst.executions.size();
+  EXPECT_GT(reference_lf_executions, 0u)
+      << "workload exercises no deblocking; the LF wavefront is untested";
+  for (int threads : {2, 3, 8, 16}) {
     config.encode_threads = threads;
     const auto parallel = generate_h264_workload(set, config);
     EXPECT_EQ(parallel.mean_psnr, reference.mean_psnr) << threads << " threads";
