@@ -1,0 +1,62 @@
+// Multi-tenant contention: the fleet's aggregate speedup and per-tenant
+// simulated-cycle percentiles as 1, 2, 4 and 8 applications share one
+// device's fabric through the FabricArbiter, under both partition modes
+// (DESIGN §9).
+//
+// Shape to look for: at 1 tenant both modes reproduce the solo speedup
+// exactly (the arbiter degenerates to the private fabric — the equivalence
+// contract lives in tests/multitenant_test.cpp). As tenants pile on, the
+// shared reconfiguration port and the split fabric erode the aggregate
+// speedup and stretch the p99 tail; kBenefitWeighted should hold more of
+// the speedup than kStatic at the same tenant count by shifting containers
+// toward the tenants with the most forecast mass, at the cost of
+// cross-tenant evictions.
+#include <cstdio>
+
+#include "base/table.h"
+#include "bench/common.h"
+#include "fleet/spec.h"
+#include "fleet/tenant_fleet.h"
+
+int main() {
+  using namespace rispp;
+  bench::BenchPerfLog perf("fig_multitenant");
+
+  const int frames = bench::bench_frames();
+  fleet::FleetSpec spec;
+  spec.sessions = 8;
+  spec.frames_min = 1;
+  spec.frames_max = frames < 4 ? frames : 4;
+  spec.schedulers = {"HEF", "SJF"};
+  spec.acs_min = 8;
+  spec.acs_max = 8;
+  const auto sessions = fleet::expand_fleet_spec(spec);
+
+  const int tenant_counts[] = {1, 2, 4, 8};
+  const PartitionMode modes[] = {PartitionMode::kStatic,
+                                 PartitionMode::kBenefitWeighted};
+  std::size_t cells = 0;
+
+  std::printf("Multi-tenant contention — %zu sessions, 8 ACs/tenant, frames %d..%d\n\n",
+              sessions.size(), spec.frames_min, spec.frames_max);
+  TextTable table({"tenants/device", "partition", "agg speedup", "sim p50", "sim p99",
+                   "evictions", "port wait"});
+  for (const PartitionMode mode : modes) {
+    for (const int tenants : tenant_counts) {
+      fleet::ContendedOptions options;
+      options.tenants_per_device = tenants;
+      options.acs_per_tenant = 8;
+      options.floor = 2;
+      options.partition = mode;
+      const fleet::ContendedReport report =
+          fleet::run_contended_fleet(sessions, options);
+      cells += report.sessions;
+      table.add(tenants, mode == PartitionMode::kStatic ? "static" : "weighted",
+                format_fixed(report.aggregate_speedup, 3), report.sim_cycles_p50,
+                report.sim_cycles_p99, report.evictions, report.port_wait_cycles);
+    }
+  }
+  perf.set_cells(cells);
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

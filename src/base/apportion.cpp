@@ -1,0 +1,49 @@
+#include "base/apportion.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace rispp {
+
+std::vector<std::uint64_t> apportion_largest_remainder(
+    std::uint64_t seats, std::span<const std::uint64_t> weights) {
+  if (weights.empty()) {
+    RISPP_CHECK_MSG(seats == 0, "cannot apportion seats over zero parties");
+    return {};
+  }
+  std::uint64_t total_weight = 0;
+  for (const std::uint64_t w : weights) {
+    RISPP_CHECK_MSG(w <= (std::uint64_t{1} << 32), "apportionment weight overflows");
+    total_weight += w;
+  }
+
+  std::vector<std::uint64_t> shares(weights.size(), 0);
+  std::vector<std::uint64_t> remainders(weights.size(), 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    // All-zero weights degrade to uniform so the split stays total.
+    const std::uint64_t w = total_weight > 0 ? weights[i] : 1;
+    const std::uint64_t divisor = total_weight > 0 ? total_weight : weights.size();
+    RISPP_CHECK_MSG(seats <= (std::uint64_t{1} << 32), "apportionment seats overflow");
+    shares[i] = seats * w / divisor;
+    remainders[i] = seats * w % divisor;
+    assigned += shares[i];
+  }
+
+  // Hand the leftover seats to the largest remainders, lowest index first on
+  // ties — a total order, so the apportionment is deterministic.
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  RISPP_CHECK(assigned <= seats);
+  std::uint64_t leftover = seats - assigned;
+  for (std::size_t i = 0; leftover > 0; i = (i + 1) % order.size(), --leftover)
+    ++shares[order[i]];
+  return shares;
+}
+
+}  // namespace rispp

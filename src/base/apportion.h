@@ -1,0 +1,26 @@
+// Exact integer apportionment (largest-remainder / Hamilton's method).
+//
+// Several layers need to split an integer resource proportionally with an
+// *exact* sum: the fleet mix expansion splits N sessions across content
+// kinds, and the fabric arbiter splits Atom Containers across tenants by
+// benefit weight. Rounding each share independently can miss the total by
+// ±(kinds-1); the largest-remainder rule never does, and breaking remainder
+// ties by lowest index keeps the split fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rispp {
+
+/// Splits `seats` into integer shares proportional to `weights`; the result
+/// always sums to exactly `seats`. Each share starts at its floored quota
+/// (seats * w / W); the remaining seats go to the largest fractional
+/// remainders, ties to the lowest index. An all-zero weight vector degrades
+/// to uniform weights (every empty-handed caller still gets a deterministic
+/// split). An empty weight vector returns empty (seats must then be 0).
+std::vector<std::uint64_t> apportion_largest_remainder(
+    std::uint64_t seats, std::span<const std::uint64_t> weights);
+
+}  // namespace rispp

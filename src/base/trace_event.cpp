@@ -280,6 +280,7 @@ const char* trace_track_name(TraceTrack track) {
     case TraceTrack::kBench: return "bench driver";
     case TraceTrack::kMetrics: return "metrics";
     case TraceTrack::kFleet: return "fleet";
+    case TraceTrack::kArbiter: return "fabric arbiter";
   }
   return "?";
 }

@@ -43,8 +43,9 @@ enum class TraceTrack : std::uint8_t {
   kBench,             // one span per report under the rispp_bench driver
   kMetrics,           // final registry counter samples at flush
   kFleet,             // one span per session under the fleet driver
+  kArbiter,           // per-tenant port-timeline lanes under the fabric arbiter
 };
-inline constexpr std::size_t kTraceTrackCount = 7;
+inline constexpr std::size_t kTraceTrackCount = 8;
 
 /// Human name of a track ("reconfig port", ...), used as the Chrome
 /// process_name metadata.

@@ -137,51 +137,19 @@ void SessionBatch::run_block(const Block& block) {
 
   // Instance-major stepping: the shared instance (and its run array) stays
   // cache-resident while every session of the block consumes it. Each
-  // session's state evolves exactly as in sim::run_trace's batched mode, so
+  // session's state evolves through sim::replay_instance — the same body as
+  // run_trace's batched mode and the multi-tenant co-simulation — so
   // per-session results are bit-identical to a solo replay.
   std::vector<LatencySegment> segments;
   std::vector<SiRun> local_runs;  // fallback for traces without a run form
   for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
     const HotSpotInstance& inst = trace.instances[idx];
-    const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
-    const std::vector<SiRun>* runs = &inst.runs;
-    if (runs->empty() && !inst.executions.empty()) {
-      local_runs.clear();
-      for (SiId si : inst.executions) {
-        if (!local_runs.empty() && local_runs.back().si == si)
-          ++local_runs.back().count;
-        else
-          local_runs.push_back(SiRun{si, 1});
-      }
-      runs = &local_runs;
-    }
     for (std::size_t i = 0; i < k; ++i) {
       const std::uint32_t s = block.sessions[i];
       const Cycles entered = now[i];
-      now[i] += inst.entry_overhead;
-      backends[i]->on_hot_spot_entry(trace, idx, now[i]);
-      if (SimStats* stats = options_.collect_stats ? stats_[s].get() : nullptr) {
-        for (const SiRun& run : *runs) {
-          segments.clear();
-          backends[i]->si_execution_run_latency(run.si, run.count, now[i],
-                                                info.per_execution_overhead, segments);
-          std::uint64_t segmented = 0;
-          for (const LatencySegment& seg : segments) {
-            const Cycles step = seg.latency + info.per_execution_overhead;
-            stats->record_run(run.si, now[i], seg.count, step, seg.latency);
-            now[i] += seg.count * step;
-            segmented += seg.count;
-          }
-          RISPP_CHECK_MSG(segmented == run.count,
-                          "backend latency segments do not cover the run");
-          si_executions_[s] += run.count;
-        }
-      } else {
-        now[i] = backends[i]->si_execution_span(std::span<const SiRun>(*runs), now[i],
-                                                info.per_execution_overhead);
-        si_executions_[s] += inst.executions.size();
-      }
-      backends[i]->on_hot_spot_exit(now[i]);
+      SimStats* stats = options_.collect_stats ? stats_[s].get() : nullptr;
+      now[i] = replay_instance(trace, idx, *backends[i], stats, now[i], si_executions_[s],
+                               segments, local_runs);
       hot_spot_cycles_[hot_spot_offset_[s] + inst.hot_spot] += now[i] - entered;
     }
   }

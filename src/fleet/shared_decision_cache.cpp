@@ -43,15 +43,16 @@ SharedDecisionCache::SharedDecisionCache(std::size_t capacity, unsigned shards)
 
 SharedDecisionCache::DomainId SharedDecisionCache::register_domain(
     std::uint64_t set_fingerprint, std::string_view scheduler,
-    Cycles payback_cycles_per_atom) {
+    Cycles payback_cycles_per_atom, std::uint64_t config_digest) {
   std::lock_guard<std::mutex> lock(domains_mutex_);
   for (DomainId id = 0; id < domains_.size(); ++id) {
     const Domain& d = domains_[id];
     if (d.set_fingerprint == set_fingerprint && d.scheduler == scheduler &&
-        d.payback == payback_cycles_per_atom)
+        d.payback == payback_cycles_per_atom && d.config_digest == config_digest)
       return id;
   }
-  domains_.push_back(Domain{set_fingerprint, std::string(scheduler), payback_cycles_per_atom});
+  domains_.push_back(Domain{set_fingerprint, std::string(scheduler), payback_cycles_per_atom,
+                            config_digest});
   return static_cast<DomainId>(domains_.size() - 1);
 }
 

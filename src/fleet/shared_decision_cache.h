@@ -55,10 +55,14 @@ class SharedDecisionCache {
   /// A domain is the tuple of per-RTM constants the per-session cache key
   /// left implicit. Registration interns the exact tuple (same tuple → same
   /// id), so entry comparison on the id is an exact key compare, not a hash
-  /// compare.
+  /// compare. `config_digest` folds every remaining RtmConfig knob that can
+  /// change a decision (rtm_domain_digest: forecast mode today) — without it,
+  /// two sessions with equal SI set / scheduler / payback but different
+  /// configurations would intern the *same* domain and could replay each
+  /// other's decisions.
   using DomainId = std::uint32_t;
   DomainId register_domain(std::uint64_t set_fingerprint, std::string_view scheduler,
-                           Cycles payback_cycles_per_atom);
+                           Cycles payback_cycles_per_atom, std::uint64_t config_digest);
 
   /// Looks up the decision for the full key; on a hit copies it into `out`
   /// and returns true. `session` identifies the caller for the
@@ -122,6 +126,7 @@ class SharedDecisionCache {
     std::uint64_t set_fingerprint;
     std::string scheduler;
     Cycles payback;
+    std::uint64_t config_digest;
   };
   std::vector<Domain> domains_;
 };

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string_view>
 
+#include "base/apportion.h"
 #include "base/env.h"
 #include "base/prng.h"
 #include "sched/registry.h"
@@ -107,9 +109,19 @@ double parse_arrival_or_die(const char* label, const char* text) {
   return static_cast<double>(*per_min);
 }
 
+PartitionMode parse_partition_or_die(const char* label, const char* text) {
+  constexpr const char* kExpected = "\"static\" or \"weighted\"";
+  if (text == nullptr || *text == '\0') die(label, text == nullptr ? "" : text, kExpected);
+  if (std::strcmp(text, "static") == 0) return PartitionMode::kStatic;
+  if (std::strcmp(text, "weighted") == 0) return PartitionMode::kBenefitWeighted;
+  die(label, text, kExpected);
+}
+
 void apply_fleet_env(FleetSpec& spec) {
   spec.sessions =
       static_cast<int>(parse_env_int("RISPP_SESSIONS", spec.sessions, 1, 10'000'000));
+  spec.tenants = static_cast<int>(parse_env_int(
+      "RISPP_TENANTS", spec.tenants, 1, static_cast<long>(FabricArbiter::kMaxTenants)));
 }
 
 std::vector<SessionSpec> expand_fleet_spec(const FleetSpec& spec) {
@@ -118,11 +130,29 @@ std::vector<SessionSpec> expand_fleet_spec(const FleetSpec& spec) {
   sessions.reserve(static_cast<std::size_t>(std::max(spec.sessions, 0)));
   const double spacing_ms =
       spec.arrival_per_min > 0.0 ? 60'000.0 / spec.arrival_per_min : 0.0;
-  const std::uint64_t total_weight = spec.h264_weight + spec.jpeg_weight;
+
+  // Exact content split: largest-remainder apportionment of the session
+  // count over the mix weights (the old per-session PRNG draw only matched
+  // the mix in expectation — an N=5 "h264=4,jpeg=1" fleet could easily come
+  // out all-h264), interleaved by smooth weighted round-robin so contents
+  // alternate in arrival order at the mix ratio.
+  const std::uint64_t weights[] = {spec.h264_weight, spec.jpeg_weight};
+  const std::vector<std::uint64_t> counts = apportion_largest_remainder(
+      static_cast<std::uint64_t>(std::max(spec.sessions, 0)), weights);
+  std::int64_t credit[] = {0, 0};
+  std::uint64_t emitted[] = {0, 0};
   for (int s = 0; s < spec.sessions; ++s) {
+    // Accumulate each content's remaining entitlement; the largest credit
+    // (ties to h264) emits next. Exhausted contents stop accruing.
+    for (int k = 0; k < 2; ++k)
+      credit[k] = emitted[k] < counts[k] ? credit[k] + static_cast<std::int64_t>(counts[k])
+                                         : std::numeric_limits<std::int64_t>::min();
+    const int pick = credit[1] > credit[0] ? 1 : 0;
+    credit[pick] -= spec.sessions;
+    ++emitted[pick];
+
     SessionSpec session;
-    session.content =
-        prng.bounded(total_weight) < spec.h264_weight ? Content::kH264 : Content::kJpeg;
+    session.content = pick == 0 ? Content::kH264 : Content::kJpeg;
     session.frames = static_cast<int>(prng.range(spec.frames_min, spec.frames_max));
     session.scheduler = spec.schedulers[prng.bounded(spec.schedulers.size())];
     session.container_count =

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fleet/session.h"
+#include "rtm/fabric_arbiter.h"
 
 namespace rispp::fleet {
 
@@ -41,6 +42,17 @@ struct FleetSpec {
   double arrival_per_min = 0.0;
   /// PRNG seed for the expansion; --seed.
   std::uint64_t seed = 1;
+  /// Multi-tenant mode; RISPP_TENANTS / --tenants. 1 = each session owns a
+  /// whole device (the classic fleet); >1 = consecutive sessions share one
+  /// device's fabric through a FabricArbiter, `tenants` per device.
+  int tenants = 1;
+  /// Atom Containers contributed per tenant (device fabric = tenants *
+  /// acs_per_tenant); --acs-per-tenant.
+  int acs_per_tenant = 8;
+  /// Per-tenant quota floor under rebalancing/eviction; --floor.
+  int tenant_floor = 2;
+  /// Fabric partitioning under contention; --partition "static"|"weighted".
+  PartitionMode partition = PartitionMode::kStatic;
 };
 
 /// Parses "h264=4,jpeg=1" (either kind may be omitted; at least one weight
@@ -61,13 +73,21 @@ std::vector<std::string> parse_schedulers_or_die(const char* label, const char* 
 /// start). Exits kEnvParseExitCode on garbage.
 double parse_arrival_or_die(const char* label, const char* text);
 
-/// Reads the RISPP_SESSIONS environment variable into spec.sessions (strict:
-/// garbage exits kEnvParseExitCode naming the variable; unset leaves the
-/// spec untouched).
+/// Parses "static" or "weighted". Exits kEnvParseExitCode on garbage.
+PartitionMode parse_partition_or_die(const char* label, const char* text);
+
+/// Reads the RISPP_SESSIONS and RISPP_TENANTS environment variables into the
+/// spec (strict: garbage exits kEnvParseExitCode naming the variable; unset
+/// leaves the spec untouched).
 void apply_fleet_env(FleetSpec& spec);
 
 /// Deterministically expands the spec into concrete sessions with a
 /// Xoshiro256 seeded from spec.seed. Same spec, same fleet — always.
+/// The content mix is exact, not sampled: the session counts per content are
+/// apportioned by largest remainder (so "h264=4,jpeg=1" over 1000 sessions
+/// yields exactly 800/200, and over any N the split is within one session of
+/// N*weight/total), then interleaved by smooth weighted round-robin so the
+/// arrival order mixes contents instead of batching them.
 std::vector<SessionSpec> expand_fleet_spec(const FleetSpec& spec);
 
 }  // namespace rispp::fleet

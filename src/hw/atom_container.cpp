@@ -5,7 +5,14 @@
 namespace rispp {
 
 ContainerFile::ContainerFile(unsigned count, std::size_t atom_type_dimension)
-    : containers_(count), ready_(atom_type_dimension) {}
+    : containers_(count), ready_(atom_type_dimension), active_(count) {}
+
+ContainerFile::ContainerFile(unsigned count, std::size_t atom_type_dimension,
+                             unsigned enabled_count)
+    : containers_(count), ready_(atom_type_dimension), active_(enabled_count) {
+  RISPP_CHECK(enabled_count <= count);
+  for (unsigned id = enabled_count; id < count; ++id) containers_[id].enabled = false;
+}
 
 const AtomContainer& ContainerFile::container(ContainerId id) const {
   RISPP_CHECK(id < containers_.size());
@@ -16,6 +23,7 @@ void ContainerFile::begin_load(ContainerId id, AtomTypeId type) {
   RISPP_CHECK(id < containers_.size());
   RISPP_CHECK(type < ready_.dimension());
   AtomContainer& c = containers_[id];
+  RISPP_CHECK_MSG(c.enabled, "container " << id << " is outside the quota");
   RISPP_CHECK_MSG(c.state != ContainerState::kLoading,
                   "container " << id << " already reconfiguring");
   if (c.state == ContainerState::kReady) {
@@ -34,6 +42,33 @@ void ContainerFile::complete_load(ContainerId id) {
   ++ready_[c.type];
 }
 
+bool ContainerFile::disable(ContainerId id) {
+  RISPP_CHECK(id < containers_.size());
+  AtomContainer& c = containers_[id];
+  RISPP_CHECK_MSG(c.enabled, "container " << id << " already disabled");
+  RISPP_CHECK_MSG(c.state != ContainerState::kLoading,
+                  "cannot disable container " << id << " mid-reconfiguration");
+  const bool evicted = c.state == ContainerState::kReady;
+  if (evicted) {
+    RISPP_CHECK(ready_[c.type] > 0);
+    --ready_[c.type];
+  }
+  c.state = ContainerState::kEmpty;
+  c.enabled = false;
+  RISPP_CHECK(active_ > 0);
+  --active_;
+  return evicted;
+}
+
+void ContainerFile::enable(ContainerId id) {
+  RISPP_CHECK(id < containers_.size());
+  AtomContainer& c = containers_[id];
+  RISPP_CHECK_MSG(!c.enabled, "container " << id << " already enabled");
+  RISPP_CHECK(c.state == ContainerState::kEmpty);
+  c.enabled = true;
+  ++active_;
+}
+
 void ContainerFile::touch(const Molecule& used, Cycles now) {
   for (std::size_t t = 0; t < used.dimension(); ++t) {
     if (used[t] == 0) continue;
@@ -50,7 +85,8 @@ void ContainerFile::touch(const Molecule& used, Cycles now) {
 
 std::optional<ContainerId> ContainerFile::find_empty() const {
   for (ContainerId id = 0; id < containers_.size(); ++id)
-    if (containers_[id].state == ContainerState::kEmpty) return id;
+    if (containers_[id].enabled && containers_[id].state == ContainerState::kEmpty)
+      return id;
   return std::nullopt;
 }
 

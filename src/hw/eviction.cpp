@@ -22,6 +22,7 @@ std::optional<ContainerId> pick_victim(const ContainerFile& file, const Molecule
   Cycles best_used = 0;
   for (ContainerId id = 0; id < file.size(); ++id) {
     const AtomContainer& c = file.container(id);
+    if (!c.enabled) continue;  // outside the owner's quota (multi-tenant)
     if (c.state != ContainerState::kReady) continue;
     if (ready[c.type] <= hard_demand[c.type]) continue;  // hard-pinned
     const AtomCount wanted = std::max(hard_demand[c.type], soft_demand[c.type]);

@@ -10,13 +10,22 @@
 
 namespace rispp {
 
+std::uint64_t rtm_domain_digest(const RtmConfig& config) {
+  // See the declaration: fold every knob that changes decide()'s output for
+  // an identical key. Seeded with an arbitrary odd constant so digest 0
+  // never collides with "no digest".
+  return fingerprint_mix(0x9e3779b97f4a7c15ull,
+                         static_cast<std::uint64_t>(config.forecast_mode));
+}
+
 RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot_spot_count,
                                const RtmConfig& config)
     : set_(set),
       config_(config),
       monitor_(hot_spot_count, set->si_count()),
       seeds_(hot_spot_count, std::vector<std::uint64_t>(set->si_count(), 0)),
-      containers_(config.container_count, set->atom_type_count()),
+      containers_(config.arbiter != nullptr ? 0 : config.container_count,
+                  set->atom_type_count()),
       port_(&set->library(), config.bitstream),
       demand_(set->atom_type_count()),
       soft_demand_(set->atom_type_count()),
@@ -32,18 +41,32 @@ RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot
       upgrade_lane_(trace_new_lane()) {
   RISPP_CHECK(config_.scheduler != nullptr);
   trace_name_lane(TraceTrack::kExecutor, upgrade_lane_, "SI upgrades");
+  if (config_.arbiter != nullptr) {
+    config_.arbiter->bind(config_.tenant, &set_->library(), set_->atom_type_count(),
+                          &type_last_used_);
+    cf_ = &config_.arbiter->containers(config_.tenant);
+  } else {
+    cf_ = &containers_;
+  }
   if (config_.payback_horizon > 0)
     payback_cycles_per_atom_ =
         cycles_from_us(config_.bitstream.average_reconfig_us(set_->library())) /
         config_.payback_horizon;
   if (config_.shared_decision_cache != nullptr)
     shared_domain_ = config_.shared_decision_cache->register_domain(
-        fingerprint(*set_), config_.scheduler->name(), payback_cycles_per_atom_);
+        fingerprint(*set_), config_.scheduler->name(), payback_cycles_per_atom_,
+        rtm_domain_digest(config_));
 }
 
 void RunTimeManager::seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected) {
-  monitor_.seed(hs, si, expected);
+  RISPP_CHECK_MSG(!seen_any_hot_spot_,
+                  "seed_forecast is a design-time profile: seeding after the first "
+                  "hot-spot entry would silently lose to the adapted forecast");
   RISPP_CHECK(hs < seeds_.size() && si < seeds_[hs].size());
+  RISPP_CHECK_MSG(seeds_[hs][si] == 0, "re-seeding forecast for hot spot "
+                                           << hs << ", SI " << si
+                                           << ": a profile has one value per pair");
+  monitor_.seed(hs, si, expected);
   seeds_[hs][si] = expected;
 }
 
@@ -76,10 +99,18 @@ void RunTimeManager::on_hot_spot_entry(const WorkloadTrace& trace, std::size_t i
       break;
   }
 
+  // Multi-tenant: report the forecast mass (the benefit signal) to the
+  // arbiter, which may rebalance quotas — so read the budget only after.
+  if (config_.arbiter != nullptr) {
+    std::uint64_t mass = 0;
+    for (SiId si : info.sis) mass += (*forecast)[si];
+    config_.arbiter->on_decision_point(config_.tenant, mass, now);
+  }
+
   // III) determine re-loading decisions: selection, then scheduling (memoized
   // — monitored forecasts converge after warm-up, so the steady state of a
   // long replay is pure cache hits).
-  const DecisionEntry& decision = decide(info.sis, *forecast, containers_.size());
+  const DecisionEntry& decision = decide(info.sis, *forecast, cf_->active());
   selection_ = decision.selection;
 
   // The new hot spot overrides whatever the previous one still wanted to
@@ -101,54 +132,105 @@ void RunTimeManager::on_hot_spot_entry(const WorkloadTrace& trace, std::size_t i
 
 void RunTimeManager::on_hot_spot_exit(Cycles) { monitor_.end_hot_spot(); }
 
+ReconfigPort::InflightLoad RunTimeManager::fabric_retire(Cycles now) {
+  return config_.arbiter != nullptr ? config_.arbiter->retire(config_.tenant, now)
+                                    : port_.retire(now);
+}
+
+std::optional<Cycles> RunTimeManager::fabric_try_start(AtomTypeId type, ContainerId victim,
+                                                       Cycles now) {
+  if (config_.arbiter != nullptr)
+    return config_.arbiter->try_start(config_.tenant, type, victim, now);
+  port_.start(type, victim, now);
+  return std::nullopt;
+}
+
+std::optional<Cycles> RunTimeManager::fabric_stall_bound(Cycles now) const {
+  if (fabric_loading()) return fabric_finishes_at();
+  // After advance_reconfig a standing denial's hint is strictly in the
+  // future (the arbiter hints at least one load duration ahead), so the
+  // fast-forward windows always make progress.
+  if (config_.arbiter != nullptr && denied_until_ > now) return denied_until_;
+  return std::nullopt;
+}
+
+void RunTimeManager::sync_fabric() {
+  if (config_.arbiter == nullptr) return;
+  const std::uint64_t gen = config_.arbiter->fabric_generation(config_.tenant);
+  if (gen != fabric_gen_seen_) {
+    // A quota rebalance evicted ready atoms behind our back.
+    fabric_gen_seen_ = gen;
+    if (cache_valid_) cache_event_now_ = config_.arbiter->last_fabric_event(config_.tenant);
+    cache_valid_ = false;
+  }
+}
+
 void RunTimeManager::advance_reconfig(Cycles now) {
-  while (port_.busy() && port_.inflight()->finishes_at <= now) {
-    const auto done = port_.retire(now);
-    containers_.complete_load(done.container);
+  sync_fabric();
+  while (fabric_loading() && fabric_finishes_at() <= now) {
+    const auto done = fabric_retire(now);
+    cf_->complete_load(done.container);
     if (cache_valid_) cache_event_now_ = done.finishes_at;
     cache_valid_ = false;
     start_pending_loads(done.finishes_at);
   }
-  if (!port_.busy()) start_pending_loads(now);
+  if (!fabric_loading()) start_pending_loads(now);
 }
 
 void RunTimeManager::start_pending_loads(Cycles now) {
-  while (!port_.busy() && !pending_loads_.empty()) {
+  while (!fabric_loading() && !pending_loads_.empty()) {
     const AtomTypeId type = pending_loads_.front();
-    const auto victim = pick_victim(containers_, demand_, soft_demand_, type_last_used_);
+    const auto victim = pick_victim(*cf_, demand_, soft_demand_, type_last_used_);
     if (!victim.has_value()) {
       // Every container is pinned (in-flight loads); retry at the next
       // reconfiguration event.
       RISPP_DEBUG("load of atom type " << type << " deferred: no victim container");
       return;
     }
+    // Ask for the port before committing the victim: a denial must leave the
+    // container untouched (the claim stands; retry at the hint).
+    if (const auto hint = fabric_try_start(type, *victim, now)) {
+      denied_until_ = *hint;
+      return;
+    }
+    denied_until_ = 0;
     pending_loads_.pop_front();
-    containers_.begin_load(*victim, type);
+    cf_->begin_load(*victim, type);
     if (cache_valid_) cache_event_now_ = now;
     cache_valid_ = false;  // eviction may have removed a ready atom
-    port_.start(type, *victim, now);
   }
 
   // Port drained the current schedule: optionally prefetch the predicted
   // next hot spot's atoms. The current demand stays hard-pinned, so
   // prefetching can only consume containers the current hot spot spares.
-  if (config_.enable_prefetch && !port_.busy() && pending_loads_.empty()) {
+  if (config_.enable_prefetch && !fabric_loading() && pending_loads_.empty()) {
     if (!prefetch_computed_) compute_prefetch();
     if (!prefetch_loads_.empty()) {
       // Neither demand changes while the loads drain; join once.
       Molecule hard = demand_;
       join_into(hard, prefetch_demand_);
-      while (!port_.busy() && !prefetch_loads_.empty()) {
+      while (!fabric_loading() && !prefetch_loads_.empty()) {
         const AtomTypeId type = prefetch_loads_.front();
-        const auto victim = pick_victim(containers_, hard, soft_demand_, type_last_used_);
+        const auto victim = pick_victim(*cf_, hard, soft_demand_, type_last_used_);
         if (!victim.has_value()) return;
+        if (const auto hint = fabric_try_start(type, *victim, now)) {
+          denied_until_ = *hint;
+          return;
+        }
+        denied_until_ = 0;
         prefetch_loads_.pop_front();
-        containers_.begin_load(*victim, type);
+        cf_->begin_load(*victim, type);
         if (cache_valid_) cache_event_now_ = now;
         cache_valid_ = false;
-        port_.start(type, *victim, now);
       }
     }
+  }
+
+  // Both queues drained: nothing left to ask the port for, so any standing
+  // claim from an earlier denial lapses (other tenants stop yielding to us).
+  if (config_.arbiter != nullptr && pending_loads_.empty() && prefetch_loads_.empty()) {
+    config_.arbiter->withdraw_claim(config_.tenant);
+    denied_until_ = 0;
   }
 }
 
@@ -162,8 +244,8 @@ void RunTimeManager::compute_prefetch() {
   // resident, but never count on evicting current-demand atoms: the budget
   // is the containers minus the current selection's sup.
   const unsigned budget =
-      containers_.size() > demand_.determinant()
-          ? containers_.size() - demand_.determinant()
+      cf_->active() > demand_.determinant()
+          ? cf_->active() - demand_.determinant()
           : 0;
   if (budget == 0) return;
 
@@ -210,7 +292,7 @@ void RunTimeManager::compute_prefetch() {
 const RunTimeManager::DecisionEntry& RunTimeManager::decide(
     const std::vector<SiId>& sis, const std::vector<std::uint64_t>& forecast,
     unsigned budget) {
-  const Molecule& ready = containers_.ready_atoms();
+  const Molecule& ready = cf_->ready_atoms();
   static MetricCounter& hit_metric = metric_counter("rtm.decision_cache.hits");
   static MetricCounter& miss_metric = metric_counter("rtm.decision_cache.misses");
   static MetricCounter& eviction_metric = metric_counter("rtm.decision_cache.evictions");
@@ -327,7 +409,7 @@ void RunTimeManager::compute_decision(const std::vector<SiId>& sis,
 }
 
 void RunTimeManager::refresh_cache() {
-  const Molecule& ready = containers_.ready_atoms();
+  const Molecule& ready = cf_->ready_atoms();
   const bool traced = trace_enabled();
   if (traced && traced_si_names_.empty()) {
     traced_si_names_.reserve(set_->si_count());
@@ -360,7 +442,7 @@ void RunTimeManager::refresh_cache() {
 }
 
 Cycles RunTimeManager::current_latency(SiId si) const {
-  return set_->fastest_available_latency(si, containers_.ready_atoms());
+  return set_->fastest_available_latency(si, cf_->ready_atoms());
 }
 
 Cycles RunTimeManager::si_execution_latency(SiId si, Cycles now) {
@@ -399,8 +481,9 @@ Cycles RunTimeManager::si_execution_run_latency(SiId si, std::uint64_t count, Cy
     const Cycles latency = set_->si(si).latency(mol);
     const Cycles step = latency + per_execution_overhead;
     std::uint64_t fit = count;
-    if (port_.busy() && step > 0) {
-      const Cycles finish = port_.inflight()->finishes_at;  // > now after advance
+    const auto bound = fabric_stall_bound(now);
+    if (bound.has_value() && step > 0) {
+      const Cycles finish = *bound;  // > now after advance
       fit = std::min<std::uint64_t>(count, (finish - now + step - 1) / step);
     }
     monitor_.record_executions(si, fit);
@@ -432,8 +515,9 @@ Cycles RunTimeManager::si_execution_span(std::span<const SiRun> runs, Cycles now
     // Open a window: advance reconfiguration state to `now`.
     advance_reconfig(now);
     if (!cache_valid_) refresh_cache();
-    const bool bounded = port_.busy();
-    const Cycles window_end = bounded ? port_.inflight()->finishes_at : 0;
+    const auto bound = fabric_stall_bound(now);
+    const bool bounded = bound.has_value();
+    const Cycles window_end = bounded ? *bound : 0;
     ++span_gen_;
     span_touched_.clear();
 

@@ -28,6 +28,7 @@
 #include "hw/bitstream.h"
 #include "hw/reconfig_port.h"
 #include "monitor/forecast.h"
+#include "rtm/fabric_arbiter.h"
 #include "sched/schedule.h"
 #include "select/selection.h"
 #include "sim/executor.h"
@@ -81,7 +82,22 @@ struct RtmConfig {
   /// Identity of the owning session — only used for the shared cache's
   /// cross-session hit accounting, never for decisions.
   std::uint64_t session_id = 0;
+  /// Multi-tenant mode (DESIGN §9): when set, this RTM is tenant `tenant` of
+  /// the arbiter's shared fabric — the AC view and the reconfiguration port
+  /// come from the arbiter (container_count is ignored) and every load is
+  /// subject to port arbitration and quota rebalancing. Not owned; must
+  /// outlive the RTM. A 1-tenant arbiter is bit-identical to the solo path.
+  FabricArbiter* arbiter = nullptr;
+  TenantId tenant = 0;
 };
+
+/// Digest of every RtmConfig knob that changes decide()'s output for an
+/// identical (sis, forecast, ready atoms, budget) key. Folded into the shared
+/// decision cache's domain identity so sessions configured differently never
+/// share decisions: two domains with equal SI sets, schedulers and payback
+/// constants but different digests stay apart. forecast_mode enters today;
+/// fold any future decision-influencing knob here the same way.
+std::uint64_t rtm_domain_digest(const RtmConfig& config);
 
 class RunTimeManager final : public ExecutionBackend {
  public:
@@ -89,6 +105,10 @@ class RunTimeManager final : public ExecutionBackend {
                  const RtmConfig& config);
 
   /// Design-time forecast seed for the first instance of each hot spot.
+  /// Seeds are a design-time profile: seeding after the first hot-spot entry
+  /// or re-seeding a (hot spot, SI) pair that already holds a nonzero seed is
+  /// a hard error (RISPP_CHECK) — both silently skewed kStaticSeeds results
+  /// before, because monitor_.seed and seeds_ disagreed on "latest wins".
   void seed_forecast(HotSpotId hs, SiId si, std::uint64_t expected);
 
   // -- ExecutionBackend ------------------------------------------------
@@ -102,10 +122,13 @@ class RunTimeManager final : public ExecutionBackend {
                                   std::vector<LatencySegment>& segments) override;
   Cycles si_execution_span(std::span<const SiRun> runs, Cycles now,
                            Cycles per_execution_overhead) override;
-  std::uint64_t completed_loads() const override { return port_.completed_loads(); }
+  std::uint64_t completed_loads() const override {
+    return config_.arbiter != nullptr ? config_.arbiter->completed_loads(config_.tenant)
+                                      : port_.completed_loads();
+  }
 
   // -- Introspection (tests, Figure 8 analysis) ------------------------
-  const Molecule& ready_atoms() const { return containers_.ready_atoms(); }
+  const Molecule& ready_atoms() const { return cf_->ready_atoms(); }
   const std::vector<SiRef>& current_selection() const { return selection_; }
   const ExecutionMonitor& monitor() const { return monitor_; }
   /// Latency the SI would take if issued at the current state.
@@ -120,6 +143,32 @@ class RunTimeManager final : public ExecutionBackend {
   void advance_reconfig(Cycles now);
   void start_pending_loads(Cycles now);
   void compute_prefetch();
+
+  // Fabric shims: the solo path owns a private port and a fully enabled
+  // ContainerFile; under an arbiter the tenant shares the device port and
+  // views its quota through the arbiter's file (cf_ points at whichever).
+  bool fabric_loading() const {
+    return config_.arbiter != nullptr ? config_.arbiter->inflight(config_.tenant).has_value()
+                                      : port_.busy();
+  }
+  Cycles fabric_finishes_at() const {
+    return config_.arbiter != nullptr
+               ? config_.arbiter->inflight(config_.tenant)->finishes_at
+               : port_.inflight()->finishes_at;
+  }
+  ReconfigPort::InflightLoad fabric_retire(Cycles now);
+  /// nullopt = the load started; otherwise the arbiter's retry hint
+  /// (strictly after `now`), recorded in denied_until_ by the caller.
+  std::optional<Cycles> fabric_try_start(AtomTypeId type, ContainerId victim, Cycles now);
+  /// The next simulated time at which this tenant's SI latencies can change:
+  /// its own in-flight load's completion, or the arbiter's retry hint while
+  /// it waits for the port. nullopt = no pending fabric event (latencies are
+  /// stable until the next decision point). Bounds the fast-forward windows
+  /// of si_execution_run_latency / si_execution_span.
+  std::optional<Cycles> fabric_stall_bound(Cycles now) const;
+  /// Consumes arbiter-side mutations (quota rebalances evicting our atoms)
+  /// by invalidating the latency cache when the fabric generation moved.
+  void sync_fabric();
 
   /// One memoized decision: the key (everything the selection→schedule
   /// pipeline reads that varies at run time) and the result. Schedule::steps
@@ -149,8 +198,11 @@ class RunTimeManager final : public ExecutionBackend {
   RtmConfig config_;
   ExecutionMonitor monitor_;
   std::vector<std::vector<std::uint64_t>> seeds_;  // design-time profile copy
-  ContainerFile containers_;
-  ReconfigPort port_;
+  ContainerFile containers_;  // solo mode only (empty under an arbiter)
+  ReconfigPort port_;         // solo mode only (idle under an arbiter)
+  ContainerFile* cf_ = nullptr;  // the AC view: &containers_ or the arbiter's
+  Cycles denied_until_ = 0;      // arbiter retry hint from the last denial
+  std::uint64_t fabric_gen_seen_ = 0;  // last consumed arbiter mutation gen
 
   std::vector<SiRef> selection_;
   Cycles payback_cycles_per_atom_ = 0;   // avg atom load time (payback rule)

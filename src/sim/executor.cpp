@@ -109,50 +109,11 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
   std::vector<SiRun> local_runs;  // fallback when the trace has no run form
   for (std::size_t idx = 0; idx < trace.instances.size(); ++idx) {
     const HotSpotInstance& inst = trace.instances[idx];
-    const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
     const Cycles entered = now;
     entries.add();
     row.begin(inst.hot_spot, entered);
-    now += inst.entry_overhead;
-    backend.on_hot_spot_entry(trace, idx, now);
-    const std::vector<SiRun>* runs = &inst.runs;
-    if (runs->empty() && !inst.executions.empty()) {
-      local_runs.clear();
-      for (SiId si : inst.executions) {
-        if (!local_runs.empty() && local_runs.back().si == si)
-          ++local_runs.back().count;
-        else
-          local_runs.push_back(SiRun{si, 1});
-      }
-      runs = &local_runs;
-    }
-    if (!stats) {
-      // No per-execution observation needed: let the backend fast-forward
-      // the whole instance (port-quiet windows advance in pure arithmetic).
-      now = backend.si_execution_span(std::span<const SiRun>(*runs), now,
-                                      info.per_execution_overhead);
-      result.si_executions += inst.executions.size();
-      backend.on_hot_spot_exit(now);
-      row.end(inst.hot_spot, now);
-      result.hot_spot_cycles[inst.hot_spot] += now - entered;
-      continue;
-    }
-    for (const SiRun& run : *runs) {
-      segments.clear();
-      backend.si_execution_run_latency(run.si, run.count, now,
-                                       info.per_execution_overhead, segments);
-      std::uint64_t segmented = 0;
-      for (const LatencySegment& seg : segments) {
-        const Cycles step = seg.latency + info.per_execution_overhead;
-        if (stats) stats->record_run(run.si, now, seg.count, step, seg.latency);
-        now += seg.count * step;
-        segmented += seg.count;
-      }
-      RISPP_CHECK_MSG(segmented == run.count,
-                      "backend latency segments do not cover the run");
-      result.si_executions += run.count;
-    }
-    backend.on_hot_spot_exit(now);
+    now = replay_instance(trace, idx, backend, stats, now, result.si_executions, segments,
+                          local_runs);
     row.end(inst.hot_spot, now);
     result.hot_spot_cycles[inst.hot_spot] += now - entered;
   }
@@ -162,6 +123,53 @@ SimResult run_trace_batched(const WorkloadTrace& trace, ExecutionBackend& backen
 }
 
 }  // namespace
+
+Cycles replay_instance(const WorkloadTrace& trace, std::size_t instance,
+                       ExecutionBackend& backend, SimStats* stats, Cycles now,
+                       std::uint64_t& si_executions, std::vector<LatencySegment>& segments,
+                       std::vector<SiRun>& runs_scratch) {
+  const HotSpotInstance& inst = trace.instances[instance];
+  const HotSpotInfo& info = trace.hot_spots[inst.hot_spot];
+  now += inst.entry_overhead;
+  backend.on_hot_spot_entry(trace, instance, now);
+  const std::vector<SiRun>* runs = &inst.runs;
+  if (runs->empty() && !inst.executions.empty()) {
+    runs_scratch.clear();
+    for (SiId si : inst.executions) {
+      if (!runs_scratch.empty() && runs_scratch.back().si == si)
+        ++runs_scratch.back().count;
+      else
+        runs_scratch.push_back(SiRun{si, 1});
+    }
+    runs = &runs_scratch;
+  }
+  if (!stats) {
+    // No per-execution observation needed: let the backend fast-forward
+    // the whole instance (port-quiet windows advance in pure arithmetic).
+    now = backend.si_execution_span(std::span<const SiRun>(*runs), now,
+                                    info.per_execution_overhead);
+    si_executions += inst.executions.size();
+    backend.on_hot_spot_exit(now);
+    return now;
+  }
+  for (const SiRun& run : *runs) {
+    segments.clear();
+    backend.si_execution_run_latency(run.si, run.count, now, info.per_execution_overhead,
+                                     segments);
+    std::uint64_t segmented = 0;
+    for (const LatencySegment& seg : segments) {
+      const Cycles step = seg.latency + info.per_execution_overhead;
+      stats->record_run(run.si, now, seg.count, step, seg.latency);
+      now += seg.count * step;
+      segmented += seg.count;
+    }
+    RISPP_CHECK_MSG(segmented == run.count,
+                    "backend latency segments do not cover the run");
+    si_executions += run.count;
+  }
+  backend.on_hot_spot_exit(now);
+  return now;
+}
 
 SimResult run_trace(const WorkloadTrace& trace, ExecutionBackend& backend, SimStats* stats,
                     ReplayMode mode) {

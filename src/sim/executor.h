@@ -93,6 +93,20 @@ enum class ReplayMode {
   kBatched,  // one backend call per run of identical SI executions
 };
 
+/// Replays one hot-spot instance in batched form — the shared per-instance
+/// body of run_trace(kBatched), the fleet session loop and the multi-tenant
+/// co-simulation, kept in one place so every driver is bit-exact with every
+/// other: entry overhead, on_hot_spot_entry, the per-run stats path (latency
+/// segments recorded into `stats`) or the stats-less whole-instance span
+/// path, then on_hot_spot_exit. `now` is the cycle the instance is entered;
+/// returns the cycle after the last execution. `si_executions` accumulates
+/// the executed SI count; `segments` and `runs_scratch` are caller-owned
+/// scratch so replay loops stay allocation-free across instances.
+Cycles replay_instance(const WorkloadTrace& trace, std::size_t instance,
+                       ExecutionBackend& backend, SimStats* stats, Cycles now,
+                       std::uint64_t& si_executions, std::vector<LatencySegment>& segments,
+                       std::vector<SiRun>& runs_scratch);
+
 /// Replays `trace` against `backend`. `stats` is optional. Both modes yield
 /// bit-exact identical SimResult and SimStats (tests/replay_equivalence_test
 /// asserts this across every backend).

@@ -2,8 +2,10 @@
 // table/CSV rendering, invariant checking and the clock model.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "base/apportion.h"
 #include "base/check.h"
 #include "base/clock.h"
 #include "base/csv.h"
@@ -76,6 +78,49 @@ TEST(Prng, Uniform01AndGaussianMoments) {
   const double mean = gsum / 20'000;
   EXPECT_NEAR(mean, 10.0, 0.1);
   EXPECT_NEAR(gsq / 20'000 - mean * mean, 4.0, 0.4);
+}
+
+TEST(Apportion, SumsExactlyAndTracksProportions) {
+  const std::uint64_t weights[] = {4, 1};
+  for (std::uint64_t seats : {0ull, 1ull, 3ull, 7ull, 17ull, 101ull, 1000ull}) {
+    const auto shares = apportion_largest_remainder(seats, weights);
+    ASSERT_EQ(shares.size(), 2u);
+    EXPECT_EQ(shares[0] + shares[1], seats) << seats << " seats";
+    // Hamilton's method stays within one seat of the exact share.
+    const double ideal = static_cast<double>(seats) * 4.0 / 5.0;
+    EXPECT_LT(std::abs(static_cast<double>(shares[0]) - ideal), 1.0) << seats;
+  }
+}
+
+TEST(Apportion, ThreeWaySplitAndZeroWeights) {
+  const std::uint64_t weights[] = {2, 3, 5};
+  const auto shares = apportion_largest_remainder(10, weights);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0], 2u);
+  EXPECT_EQ(shares[1], 3u);
+  EXPECT_EQ(shares[2], 5u);
+  // A zero weight gets nothing; the others absorb its share.
+  const std::uint64_t lopsided[] = {1, 0, 1};
+  const auto split = apportion_largest_remainder(9, lopsided);
+  EXPECT_EQ(split[1], 0u);
+  EXPECT_EQ(split[0] + split[2], 9u);
+}
+
+TEST(Apportion, TiesGoToLowestIndexAndAllZeroIsUniform) {
+  // 1 seat over equal weights: the remainders tie, index 0 wins.
+  const std::uint64_t equal[] = {1, 1, 1};
+  const auto one = apportion_largest_remainder(1, equal);
+  EXPECT_EQ(one[0], 1u);
+  EXPECT_EQ(one[1], 0u);
+  EXPECT_EQ(one[2], 0u);
+  // All-zero weights degrade to uniform instead of dividing by zero.
+  const std::uint64_t zeros[] = {0, 0, 0};
+  const auto uniform = apportion_largest_remainder(7, zeros);
+  EXPECT_EQ(uniform[0], 3u);
+  EXPECT_EQ(uniform[1], 2u);
+  EXPECT_EQ(uniform[2], 2u);
+  // Empty weights: nothing to split.
+  EXPECT_TRUE(apportion_largest_remainder(0, {}).empty());
 }
 
 TEST(Clock, RoundTripAndPaperAnchors) {

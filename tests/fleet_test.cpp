@@ -10,9 +10,11 @@
 // wall-clock, never a simulated number.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/env.h"
@@ -193,7 +195,7 @@ TEST(Fleet, SharedCacheKeepsDomainsApart) {
 
 TEST(Fleet, SharedCacheEvictsAtCapacity) {
   SharedDecisionCache cache(/*capacity=*/8, /*shards=*/1);
-  const auto domain = cache.register_domain(1, "HEF", 100);
+  const auto domain = cache.register_domain(1, "HEF", 100, 0);
   Molecule ready;
   SharedDecision decision;
   decision.loads = {1, 2};
@@ -210,13 +212,55 @@ TEST(Fleet, SharedCacheEvictsAtCapacity) {
 
 TEST(Fleet, SharedCacheInternsDomains) {
   SharedDecisionCache cache;
-  const auto a = cache.register_domain(42, "HEF", 100);
-  const auto b = cache.register_domain(42, "HEF", 100);
-  const auto c = cache.register_domain(42, "SJF", 100);
-  const auto d = cache.register_domain(42, "HEF", 200);
+  const auto a = cache.register_domain(42, "HEF", 100, 0);
+  const auto b = cache.register_domain(42, "HEF", 100, 0);
+  const auto c = cache.register_domain(42, "SJF", 100, 0);
+  const auto d = cache.register_domain(42, "HEF", 200, 0);
+  // The config digest is part of the domain identity: two RTMs that agree on
+  // set/scheduler/payback but differ in any other config knob (forecast mode,
+  // today) must land in separate domains.
+  const auto e = cache.register_domain(42, "HEF", 100, 7);
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
   EXPECT_NE(a, d);
+  EXPECT_NE(a, e);
+}
+
+TEST(Fleet, DomainDigestSeparatesForecastModes) {
+  // The regression this guards: before the digest existed, a kMonitored RTM
+  // and a kStaticSeeds RTM with the same scheduler shared decisions, and the
+  // second one replayed schedules computed under the other forecast policy.
+  RtmConfig monitored;
+  monitored.forecast_mode = ForecastMode::kMonitored;
+  RtmConfig seeded;
+  seeded.forecast_mode = ForecastMode::kStaticSeeds;
+  EXPECT_NE(rtm_domain_digest(monitored), rtm_domain_digest(seeded));
+
+  SharedDecisionCache cache;
+  const auto a = cache.register_domain(42, "HEF", 100, rtm_domain_digest(monitored));
+  const auto b = cache.register_domain(42, "HEF", 100, rtm_domain_digest(seeded));
+  EXPECT_NE(a, b);
+
+  // End to end: sessions differing only in forecast mode, all sharing one
+  // cache, must each still match their solo replay exactly.
+  TraceRepository repo;
+  SharedDecisionCache shared(1 << 12, 1);
+  ThreadPool pool(1);
+  FleetOptions options;
+  options.traces = &repo;
+  options.pool = &pool;
+  options.shared_cache = &shared;
+  SessionSpec base = small_session(Content::kH264, 2, "HEF", 8);
+  SessionSpec with_seeds = base;
+  with_seeds.forecast_mode = ForecastMode::kStaticSeeds;
+  const std::vector<SessionSpec> specs = {base, with_seeds, base, with_seeds};
+  SessionBatch batch(specs, options);
+  batch.run();
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const SimResult solo = solo_run(repo.get(specs[s]), specs[s], nullptr);
+    EXPECT_EQ(solo.total_cycles, batch.result(s).total_cycles)
+        << "session " << s << " leaked decisions across forecast modes";
+  }
 }
 
 TEST(Fleet, TraceRepositoryMemoizes) {
@@ -271,6 +315,51 @@ TEST(Fleet, ExpandFleetSpecIsDeterministic) {
   EXPECT_TRUE(any_difference) << "reseeding changed nothing — PRNG unused?";
 }
 
+TEST(Fleet, MixCountsAreExact) {
+  // The --mix expansion is apportionment, not coin flips: for S sessions and
+  // weights (h, j) the content counts must be the exact largest-remainder
+  // split of S, for every session count — odd ones especially, where the old
+  // per-session PRNG draw drifted by several sessions.
+  const int session_counts[] = {1, 3, 7, 17, 101, 1000};
+  const std::pair<std::uint64_t, std::uint64_t> mixes[] = {
+      {4, 1}, {1, 1}, {7, 3}, {5, 0}, {0, 2}};
+  for (const int sessions : session_counts) {
+    for (const auto& [h, j] : mixes) {
+      FleetSpec spec;
+      spec.sessions = sessions;
+      spec.h264_weight = h;
+      spec.jpeg_weight = j;
+      const auto expanded = expand_fleet_spec(spec);
+      ASSERT_EQ(expanded.size(), static_cast<std::size_t>(sessions));
+      std::size_t h264 = 0;
+      for (const auto& s : expanded)
+        if (s.content == Content::kH264) ++h264;
+      const double total = static_cast<double>(h + j);
+      const double ideal = static_cast<double>(sessions) * static_cast<double>(h) / total;
+      // Largest-remainder: the realized count differs from the ideal share by
+      // less than one whole session.
+      EXPECT_LT(std::abs(static_cast<double>(h264) - ideal), 1.0)
+          << sessions << " sessions, mix " << h << ":" << j;
+      if (j == 0) EXPECT_EQ(h264, expanded.size());
+      if (h == 0) EXPECT_EQ(h264, 0u);
+    }
+  }
+}
+
+TEST(Fleet, MixInterleavesContents) {
+  // Smooth WRR, not a prefix of h264 then a suffix of jpeg: in a 1:1 mix the
+  // two contents alternate, so any window of consecutive sessions is balanced.
+  FleetSpec spec;
+  spec.sessions = 10;
+  spec.h264_weight = 1;
+  spec.jpeg_weight = 1;
+  const auto expanded = expand_fleet_spec(spec);
+  for (std::size_t i = 1; i < expanded.size(); ++i)
+    EXPECT_NE(static_cast<int>(expanded[i].content),
+              static_cast<int>(expanded[i - 1].content))
+        << "position " << i;
+}
+
 // ---------------------------------------------------------------------------
 // Strict parsing: garbage exits with kEnvParseExitCode naming the offender.
 // Death tests fork, so the exit path (message + code 2) is observed exactly
@@ -317,6 +406,44 @@ TEST(FleetSpecDeathTest, SessionsEnvGarbageExits) {
         std::exit(0);  // unreachable: apply_fleet_env must have exited
       }(),
       ::testing::ExitedWithCode(kEnvParseExitCode), "RISPP_SESSIONS");
+}
+
+TEST(FleetSpecDeathTest, TenantsEnvGarbageExits) {
+  EXPECT_EXIT(
+      [] {
+        setenv("RISPP_TENANTS", "lots", 1);
+        FleetSpec spec;
+        apply_fleet_env(spec);
+        std::exit(0);  // unreachable: apply_fleet_env must have exited
+      }(),
+      ::testing::ExitedWithCode(kEnvParseExitCode), "RISPP_TENANTS");
+  EXPECT_EXIT(
+      [] {
+        setenv("RISPP_TENANTS", "0", 1);
+        FleetSpec spec;
+        apply_fleet_env(spec);
+        std::exit(0);
+      }(),
+      ::testing::ExitedWithCode(kEnvParseExitCode), "RISPP_TENANTS");
+}
+
+TEST(FleetSpecDeathTest, PartitionGarbageExits) {
+  EXPECT_EXIT(parse_partition_or_die("--partition", "fair-ish"),
+              ::testing::ExitedWithCode(kEnvParseExitCode), "--partition");
+}
+
+TEST(FleetSpec, TenantsEnvParsesAndDefaults) {
+  unsetenv("RISPP_TENANTS");
+  FleetSpec spec;
+  apply_fleet_env(spec);
+  EXPECT_EQ(spec.tenants, 1);  // unset leaves the default
+  setenv("RISPP_TENANTS", "4", 1);
+  apply_fleet_env(spec);
+  EXPECT_EQ(spec.tenants, 4);
+  unsetenv("RISPP_TENANTS");
+  EXPECT_EQ(parse_partition_or_die("--partition", "static"), PartitionMode::kStatic);
+  EXPECT_EQ(parse_partition_or_die("--partition", "weighted"),
+            PartitionMode::kBenefitWeighted);
 }
 
 TEST(FleetSpec, SessionsEnvParsesAndDefaults) {

@@ -3,6 +3,8 @@
 // the Molen baseline contrast.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "baselines/molen.h"
 #include "baselines/software_only.h"
 #include "baselines/static_asip.h"
@@ -345,6 +347,32 @@ TEST(StaticAsip, IsTheLowerBound) {
   // And the paper's Figure 1 overhead remark: dedicated hardware for all SIs
   // far exceeds any AC budget evaluated.
   EXPECT_GT(asip.dedicated_atoms(), 24u * 2);
+}
+
+TEST(RunTimeManager, ReseedingForecastIsAHardError) {
+  // seed_forecast installs a design-time profile: one value per (hot spot,
+  // SI) pair. A second seed for the same pair used to silently overwrite the
+  // first — a misconfiguration that produced wrong numbers downstream.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 1, config_with(&hef, 8));
+  rtm.seed_forecast(0, sad, 10'000);
+  EXPECT_THROW(rtm.seed_forecast(0, sad, 20'000), std::logic_error);
+  // A different pair is still fine.
+  EXPECT_NO_THROW(rtm.seed_forecast(0, set.find("SATD").value(), 1'500));
+}
+
+TEST(RunTimeManager, SeedingAfterFirstHotSpotIsAHardError) {
+  // Once the workload runs, the monitor owns the forecast; a late seed would
+  // silently lose to the next adapted update instead of taking effect.
+  const auto set = h264sis::build_h264_si_set();
+  const SiId sad = set.find("SAD").value();
+  HefScheduler hef;
+  RunTimeManager rtm(&set, 1, config_with(&hef, 8));
+  rtm.seed_forecast(0, sad, 10'000);
+  run_trace(me_trace(set, 100), rtm);
+  EXPECT_THROW(rtm.seed_forecast(0, set.find("SATD").value(), 1'500), std::logic_error);
 }
 
 }  // namespace

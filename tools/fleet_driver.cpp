@@ -8,10 +8,16 @@
 // Expands the session-mix spec deterministically (fleet/spec.h), replays
 // every session through the batched fleet::SessionBatch core, and reports
 // throughput (sessions/min), per-session completion-latency percentiles and
-// shared-cache hit rates. RISPP_SESSIONS overrides the default session
-// count (flags beat the environment); garbage in either exits 2 naming the
-// offender. RISPP_TRACE emits per-block fleet spans (track "fleet");
+// shared-cache hit rates. RISPP_SESSIONS / RISPP_TENANTS override the
+// defaults (flags beat the environment); garbage in either exits 2 naming
+// the offender. RISPP_TRACE emits per-block fleet spans (track "fleet");
 // RISPP_METRICS / RISPP_BENCH_JSON_DIR feed the BENCH_SUITE.json pipeline.
+//
+// --tenants N (N > 1) switches to the contended fleet: N consecutive
+// sessions share one device's fabric through a FabricArbiter
+// (--acs-per-tenant, --floor, --partition static|weighted), and the report
+// shifts to simulated contention — aggregate speedup over software-only and
+// per-tenant simulated-cycle percentiles (fleet/tenant_fleet.h).
 //
 // --solo replays the same fleet one session at a time through the
 // single-session sim::run_trace path and cross-checks bit-identical results
@@ -27,6 +33,7 @@
 #include "bench/common.h"
 #include "fleet/session_batch.h"
 #include "fleet/spec.h"
+#include "fleet/tenant_fleet.h"
 #include "sched/registry.h"
 #include "sim/executor.h"
 
@@ -39,7 +46,9 @@ int usage() {
                "usage: rispp_fleet [--sessions N] [--mix h264=4,jpeg=1]\n"
                "                   [--frames LO..HI] [--schedulers HEF,SJF,...]\n"
                "                   [--acs LO..HI] [--arrival all|uniform:<per_min>]\n"
-               "                   [--block N] [--seed N] [--stats] [--solo]\n");
+               "                   [--block N] [--seed N] [--stats] [--solo]\n"
+               "                   [--tenants N] [--acs-per-tenant N] [--floor N]\n"
+               "                   [--partition static|weighted]\n");
   return 2;
 }
 
@@ -131,12 +140,59 @@ int main(int argc, char** argv) {
       spec.seed = static_cast<std::uint64_t>(
           int_flag_or_die("--seed", value, 0, 1'000'000'000'000L));
       ++i;
+    } else if (arg == "--tenants") {
+      spec.tenants = static_cast<int>(int_flag_or_die(
+          "--tenants", value, 1, static_cast<long>(FabricArbiter::kMaxTenants)));
+      ++i;
+    } else if (arg == "--acs-per-tenant") {
+      spec.acs_per_tenant =
+          static_cast<int>(int_flag_or_die("--acs-per-tenant", value, 1, 1'000));
+      ++i;
+    } else if (arg == "--floor") {
+      spec.tenant_floor = static_cast<int>(int_flag_or_die("--floor", value, 1, 1'000));
+      ++i;
+    } else if (arg == "--partition") {
+      spec.partition = fleet::parse_partition_or_die("--partition", value);
+      ++i;
     } else {
       return usage();
     }
   }
 
   const std::vector<fleet::SessionSpec> sessions = fleet::expand_fleet_spec(spec);
+
+  if (spec.tenants > 1) {
+    // Contended mode: sessions share devices; the classic batch (and its
+    // wall-clock latency metrics) does not apply.
+    fleet::ContendedOptions contended;
+    contended.tenants_per_device = spec.tenants;
+    contended.acs_per_tenant = spec.acs_per_tenant;
+    contended.floor = spec.tenant_floor;
+    contended.partition = spec.partition;
+    std::printf("contended fleet: %zu sessions, %d tenants/device, %d ACs/tenant\n",
+                sessions.size(), spec.tenants, spec.acs_per_tenant);
+    fleet::ContendedReport report;
+    {
+      bench::BenchPerfLog perf("fleet");
+      perf.set_cells(sessions.size());
+      report = fleet::run_contended_fleet(sessions, contended);
+    }
+    TextTable table({"metric", "value"});
+    table.add("sessions", report.sessions);
+    table.add("devices", report.devices);
+    table.add("wall seconds", format_fixed(report.wall_seconds, 3));
+    table.add("sessions/min", format_fixed(report.sessions_per_min, 0));
+    table.add("aggregate speedup", format_fixed(report.aggregate_speedup, 3));
+    table.add("sim cycles p50", report.sim_cycles_p50);
+    table.add("sim cycles p99", report.sim_cycles_p99);
+    table.add("port grants", report.grants);
+    table.add("cross-tenant evictions", report.evictions);
+    table.add("port wait cycles", report.port_wait_cycles);
+    table.add("cycles checksum", report.cycles_checksum);
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+  }
+
   fleet::SessionBatch batch(sessions, options);
   std::printf("fleet: %zu sessions, %zu cohorts, %zu blocks\n", batch.session_count(),
               batch.cohort_count(), batch.block_count());
