@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "base/env.h"
+#include "fleet/trace_repository.h"
 
 namespace rispp::bench {
 
@@ -20,85 +21,25 @@ int bench_frames() {
 
 std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
                                    const h264::WorkloadConfig& config) {
-  std::uint64_t hash = fingerprint(set);
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.frames));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.width));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.height));
-  hash = fingerprint_mix(hash, config.video.seed);
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.object_count));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.cut_period));
-  hash = fingerprint_mix(hash,
-                         static_cast<std::uint64_t>(config.video.noise_stddev * 1024.0));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.qp));
-  hash = fingerprint_mix(hash,
-                         static_cast<std::uint64_t>(config.encoder.search.search_range));
-  hash = fingerprint_mix(hash, config.encoder.search.early_exit);
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.alpha));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.beta));
-  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.intra_bias_num));
-  hash = fingerprint_mix(
-      hash, static_cast<std::uint64_t>(config.encoder.strong_edge_threshold));
-  hash = fingerprint_mix(hash, config.per_execution_overhead);
-  hash = fingerprint_mix(hash, config.hot_spot_entry_overhead);
-  return hash;
+  return h264::workload_fingerprint(set, config);  // shared key (byte-identical)
 }
 
 std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
                                        const h264::WorkloadConfig& config) {
-  std::filesystem::path dir;
-  if (const char* env = std::getenv("RISPP_TRACE_DIR")) dir = env;
-  else dir = std::filesystem::temp_directory_path();
-  char key[32];
-  std::snprintf(key, sizeof key, "%016" PRIx64, workload_fingerprint(set, config));
-  return dir / ("rispp_h264_trace_v" + std::to_string(h264::kWorkloadTraceVersion) + "_" +
-                std::to_string(config.frames) + "_" + key + ".rtrc");
+  return h264::trace_cache_path(set, config);
 }
 
 namespace {
 
-// Concurrent bench binaries may race to fill the cache: write to a
-// pid-and-thread-unique temp file and rename it into place, so a reader
-// never sees a partially written trace. The atomic counter keeps two
-// BenchContexts constructed concurrently in one process (in-process
-// drivers, tests) from clobbering each other's temp file.
-void save_trace_cache(const WorkloadTrace& trace, const std::filesystem::path& path) {
-  static std::atomic<unsigned> counter{0};
-  const std::filesystem::path tmp = path.string() + "." + std::to_string(::getpid()) +
-                                    "." + std::to_string(counter.fetch_add(1)) + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary);
-    if (!out.good()) return;
-    trace.save(out);
-    if (!out.good()) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
-}
-
 WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
   h264::WorkloadConfig config;
   config.frames = frames;
-  const auto path = trace_cache_path(set, config);
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (in.good()) {
-      try {
-        return WorkloadTrace::load(in);
-      } catch (const std::exception&) {
-        // Corrupt cache: fall through to regeneration.
-      }
-    }
-  }
+  const auto path = h264::trace_cache_path(set, config);
+  if (auto cached = try_load_trace_file(path)) return std::move(*cached);
   std::fprintf(stderr, "[bench] encoding %d synthetic CIF frames (cached at %s)...\n",
                frames, path.string().c_str());
   WorkloadTrace trace = h264::generate_h264_workload(set, config).trace;
-  save_trace_cache(trace, path);
+  save_trace_file(trace, path);
   return trace;
 }
 
@@ -107,6 +48,39 @@ WorkloadTrace load_or_generate(const SpecialInstructionSet& set, int frames) {
 void warm_trace_cache() {
   const SpecialInstructionSet set = h264sis::build_h264_si_set();
   load_or_generate(set, bench_frames());
+}
+
+fleet::FleetSpec multitenant_fleet_spec(int frames) {
+  fleet::FleetSpec spec;
+  spec.sessions = 16;  // a full 16-tenant device forms at the sweep's top end
+  spec.frames_min = 1;
+  spec.frames_max = frames < 4 ? frames : 4;
+  spec.schedulers = {"HEF", "SJF"};
+  spec.acs_min = 8;
+  spec.acs_max = 8;
+  return spec;
+}
+
+fleet::FleetSpec throughput_fleet_spec(int frames) {
+  fleet::FleetSpec spec;
+  spec.sessions = 400;
+  spec.frames_min = 1;
+  spec.frames_max = frames < 8 ? frames : 8;
+  spec.schedulers = scheduler_names();
+  spec.acs_min = 5;
+  spec.acs_max = 20;
+  return spec;
+}
+
+void warm_fleet_trace_cache() {
+  // TraceRepository::get persists every trace it generates, so touching
+  // each distinct content here fills the on-disk cache the child report
+  // binaries (and contended fleet runs) then load from.
+  const int frames = bench_frames();
+  for (const fleet::FleetSpec& spec :
+       {multitenant_fleet_spec(frames), throughput_fleet_spec(frames)})
+    for (const fleet::SessionSpec& session : fleet::expand_fleet_spec(spec))
+      fleet::TraceRepository::global().get(session);
 }
 
 BenchContext::BenchContext()

@@ -27,6 +27,7 @@
 #include "base/parallel.h"
 #include "baselines/molen.h"
 #include "baselines/onechip.h"
+#include "fleet/spec.h"
 #include "h264/workload.h"
 #include "isa/h264_si_library.h"
 #include "rtm/run_time_manager.h"
@@ -77,6 +78,21 @@ std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
 /// driver calls this once before fanning report binaries out, so every child
 /// hits a warm cache instead of racing to encode the sequence.
 void warm_trace_cache();
+
+/// The fleet mix fig_multitenant sweeps: 16 sessions, HEF/SJF, 8 ACs per
+/// tenant, lengths 1..min(frames, 4). Shared with warm_fleet_trace_cache so
+/// the pre-warm and the bench can never drift apart.
+fleet::FleetSpec multitenant_fleet_spec(int frames);
+
+/// The fig7-like heterogeneous mix fleet_throughput runs: 400 sessions, all
+/// schedulers, ACs 5..20, lengths 1..min(frames, 8).
+fleet::FleetSpec throughput_fleet_spec(int frames);
+
+/// Pre-generates every distinct workload trace the fleet benches touch into
+/// the shared on-disk trace cache (via the fleet TraceRepository, which
+/// persists on generation). Like warm_trace_cache, the driver calls this
+/// once up front so child report binaries load instead of encoding.
+void warm_fleet_trace_cache();
 
 /// Fans `fn` over `cells` with parallel_for; results keep cell order, so the
 /// output is deterministic regardless of RISPP_THREADS. `fn` must not touch

@@ -1,7 +1,9 @@
 // Multi-tenant contention: the fleet's aggregate speedup and per-tenant
-// simulated-cycle percentiles as 1, 2, 4 and 8 applications share one
+// simulated-cycle percentiles as 1, 2, 4, 8 and 16 applications share one
 // device's fabric through the FabricArbiter, under both partition modes
-// (DESIGN §9).
+// (DESIGN §9). The co-simulation runs in the default event-horizon
+// fast-forward mode (DESIGN §9.1) — bit-identical to the instance-stepped
+// reference, so the numbers are comparable across PRs either way.
 //
 // Shape to look for: at 1 tenant both modes reproduce the solo speedup
 // exactly (the arbiter degenerates to the private fabric — the equivalence
@@ -23,16 +25,10 @@ int main() {
   bench::BenchPerfLog perf("fig_multitenant");
 
   const int frames = bench::bench_frames();
-  fleet::FleetSpec spec;
-  spec.sessions = 8;
-  spec.frames_min = 1;
-  spec.frames_max = frames < 4 ? frames : 4;
-  spec.schedulers = {"HEF", "SJF"};
-  spec.acs_min = 8;
-  spec.acs_max = 8;
+  const fleet::FleetSpec spec = bench::multitenant_fleet_spec(frames);
   const auto sessions = fleet::expand_fleet_spec(spec);
 
-  const int tenant_counts[] = {1, 2, 4, 8};
+  const int tenant_counts[] = {1, 2, 4, 8, 16};
   const PartitionMode modes[] = {PartitionMode::kStatic,
                                  PartitionMode::kBenefitWeighted};
   std::size_t cells = 0;

@@ -24,13 +24,7 @@ int main() {
   // session length range (default bench frames elsewhere; sessions stay
   // short — fleet scale comes from the count, not the length).
   const int frames = bench::bench_frames();
-  fleet::FleetSpec spec;
-  spec.sessions = 400;
-  spec.frames_min = 1;
-  spec.frames_max = frames < 8 ? frames : 8;
-  spec.schedulers = scheduler_names();
-  spec.acs_min = 5;
-  spec.acs_max = 20;
+  const fleet::FleetSpec spec = bench::throughput_fleet_spec(frames);
   const auto sessions = fleet::expand_fleet_spec(spec);
   perf.set_cells(sessions.size());
 

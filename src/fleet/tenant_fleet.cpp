@@ -95,8 +95,11 @@ ContendedReport run_contended_fleet(const std::vector<SessionSpec>& specs,
     }
     arbiter.check_invariants();
 
+    CosimOptions cosim;
+    cosim.mode = options.cosim;
+    cosim.pool = options.parallel_tenants ? &pool : nullptr;
     std::vector<SimResult> device_results =
-        run_tenants(arbiter, std::span<TenantRun>(runs));
+        run_tenants(arbiter, std::span<TenantRun>(runs), cosim);
     arbiter.check_invariants();
     for (std::size_t i = 0; i < k; ++i)
       session_results[first + i] = std::move(device_results[i]);
@@ -142,6 +145,8 @@ ContendedReport run_contended_fleet(const std::vector<SessionSpec>& specs,
           : 0.0;
 
   metric_gauge("fleet.contended.aggregate_speedup").set(report.aggregate_speedup);
+  metric_gauge("fleet.contended.sim_cycles_p50")
+      .set(static_cast<double>(report.sim_cycles_p50));
   metric_gauge("fleet.contended.sim_cycles_p99")
       .set(static_cast<double>(report.sim_cycles_p99));
   static MetricCounter& sessions_metric = metric_counter("fleet.sessions_completed");

@@ -20,6 +20,7 @@
 #include "fleet/session.h"
 #include "fleet/trace_repository.h"
 #include "rtm/fabric_arbiter.h"
+#include "rtm/tenant_sim.h"
 #include "sim/stats.h"
 
 namespace rispp::fleet {
@@ -39,6 +40,14 @@ struct ContendedOptions {
   ThreadPool* pool = nullptr;
   /// Trace repository; null uses the global one.
   TraceRepository* traces = nullptr;
+  /// Per-device co-simulation mode: the epoch-based fast-forward (default)
+  /// or the instance-stepped reference oracle. Bit-identical results.
+  CosimMode cosim = CosimMode::kFastForward;
+  /// Also step one device's tenants in parallel during quiescent epochs
+  /// (kFastForward only). With devices already fanned over the pool this
+  /// degenerates serial (reentrant parallel_for runs inline); it pays off
+  /// for few-device, many-tenant shapes.
+  bool parallel_tenants = false;
 };
 
 struct ContendedReport {

@@ -23,6 +23,13 @@ const TraceEntry& TraceRepository::get(const SessionSpec& spec) {
   ++misses_;
   miss_metric.add();
 
+  // The SI set and forecast seeds are cheap to rebuild in-process; only the
+  // recorded trace (the encoder / compressor run) is worth persisting. The
+  // cache file is keyed by the workload fingerprint — SI-library or workload
+  // edits change the key, so a stale trace can never be replayed — and the
+  // key scheme is shared with the bench harness (bench/common.cpp), so one
+  // warm cache serves both.
+  static MetricCounter& disk_hit_metric = metric_counter("fleet.trace_cache.disk_hits");
   std::unique_ptr<TraceEntry> entry;
   if (spec.content == Content::kH264) {
     entry = std::make_unique<TraceEntry>(h264sis::build_h264_si_set());
@@ -30,7 +37,15 @@ const TraceEntry& TraceRepository::get(const SessionSpec& spec) {
     config.frames = spec.frames;
     if (spec.width > 0) config.video.width = spec.width;
     if (spec.height > 0) config.video.height = spec.height;
-    entry->trace = h264::generate_h264_workload(entry->set, config).trace;
+    const auto path = h264::trace_cache_path(entry->set, config);
+    if (auto cached = try_load_trace_file(path)) {
+      entry->trace = std::move(*cached);
+      ++disk_hits_;
+      disk_hit_metric.add();
+    } else {
+      entry->trace = h264::generate_h264_workload(entry->set, config).trace;
+      save_trace_file(entry->trace, path);
+    }
     entry->seeds = h264::default_forecast_seeds(entry->set);
   } else {
     entry = std::make_unique<TraceEntry>(jpegsis::build_jpeg_si_set());
@@ -38,7 +53,15 @@ const TraceEntry& TraceRepository::get(const SessionSpec& spec) {
     config.images = spec.frames;
     if (spec.width > 0) config.width = spec.width;
     if (spec.height > 0) config.height = spec.height;
-    entry->trace = jpeg::generate_jpeg_workload(entry->set, config).trace;
+    const auto path = jpeg::trace_cache_path(entry->set, config);
+    if (auto cached = try_load_trace_file(path)) {
+      entry->trace = std::move(*cached);
+      ++disk_hits_;
+      disk_hit_metric.add();
+    } else {
+      entry->trace = jpeg::generate_jpeg_workload(entry->set, config).trace;
+      save_trace_file(entry->trace, path);
+    }
     entry->seeds = jpeg::jpeg_forecast_seeds(entry->set);
   }
   const TraceEntry& ref = *entry;
@@ -54,6 +77,11 @@ std::uint64_t TraceRepository::hits() const {
 std::uint64_t TraceRepository::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t TraceRepository::disk_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_hits_;
 }
 
 std::size_t TraceRepository::size() const {

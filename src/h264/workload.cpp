@@ -1,5 +1,7 @@
 #include "h264/workload.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
 #include "base/check.h"
@@ -94,6 +96,40 @@ std::vector<std::vector<std::uint64_t>> default_forecast_seeds(
   seeds[kHotSpotEe][ids.ipred_vdc] = 400;
   seeds[kHotSpotLf][ids.lf_bs4] = 400;
   return seeds;
+}
+
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const WorkloadConfig& config) {
+  std::uint64_t hash = fingerprint(set);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.frames));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.width));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.height));
+  hash = fingerprint_mix(hash, config.video.seed);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.object_count));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.video.cut_period));
+  hash = fingerprint_mix(hash,
+                         static_cast<std::uint64_t>(config.video.noise_stddev * 1024.0));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.qp));
+  hash = fingerprint_mix(hash,
+                         static_cast<std::uint64_t>(config.encoder.search.search_range));
+  hash = fingerprint_mix(hash, config.encoder.search.early_exit);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.alpha));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.deblock.beta));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.encoder.intra_bias_num));
+  hash = fingerprint_mix(
+      hash, static_cast<std::uint64_t>(config.encoder.strong_edge_threshold));
+  hash = fingerprint_mix(hash, config.per_execution_overhead);
+  hash = fingerprint_mix(hash, config.hot_spot_entry_overhead);
+  return hash;
+}
+
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const WorkloadConfig& config) {
+  char key[32];
+  std::snprintf(key, sizeof key, "%016" PRIx64, workload_fingerprint(set, config));
+  return trace_cache_dir() /
+         ("rispp_h264_trace_v" + std::to_string(kWorkloadTraceVersion) + "_" +
+          std::to_string(config.frames) + "_" + key + ".rtrc");
 }
 
 }  // namespace rispp::h264

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <vector>
 
 #include "h264/encoder.h"
@@ -51,6 +52,22 @@ struct WorkloadResult {
 /// instances per P frame: ME, EE, LF; I frames have no ME instance).
 WorkloadResult generate_h264_workload(const SpecialInstructionSet& set,
                                       const WorkloadConfig& config);
+
+/// Digest of everything that determines a recorded trace's contents: the SI
+/// set (names, molecule tables — isa fingerprint()) plus every WorkloadConfig
+/// field that shapes the trace. Editing the H.264 SI library or the workload
+/// parameters changes the digest, so a stale cached trace can never be
+/// replayed. (encode_threads is deliberately excluded — the trace is
+/// thread-count-invariant, determinism-tested.)
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const WorkloadConfig& config);
+
+/// Cache file a recorded trace for `config` lives at: keyed by
+/// kWorkloadTraceVersion, the frame count and workload_fingerprint(), under
+/// trace_cache_dir() (honors RISPP_TRACE_DIR). Shared between the bench
+/// harness and the fleet's TraceRepository.
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const WorkloadConfig& config);
 
 /// Design-time forecast seeds per (hot spot, SI) — rough per-frame counts a
 /// designer would profile offline; the monitor refines them online.

@@ -1,6 +1,8 @@
 #include "jpeg/jpeg_workload.h"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "base/check.h"
 #include "base/prng.h"
@@ -103,6 +105,25 @@ std::vector<std::vector<std::uint64_t>> jpeg_forecast_seeds(const SpecialInstruc
   seeds[kHotSpotTq][need(jpegsis::kQuant)] = 4'600;
   seeds[kHotSpotEc][need(jpegsis::kRle)] = 6'000;
   return seeds;
+}
+
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const JpegWorkloadConfig& config) {
+  std::uint64_t hash = fingerprint(set);
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.images));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.width));
+  hash = fingerprint_mix(hash, static_cast<std::uint64_t>(config.height));
+  hash = fingerprint_mix(hash, config.seed);
+  return hash;
+}
+
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const JpegWorkloadConfig& config) {
+  char key[32];
+  std::snprintf(key, sizeof key, "%016" PRIx64, workload_fingerprint(set, config));
+  return trace_cache_dir() /
+         ("rispp_jpeg_trace_v" + std::to_string(kJpegWorkloadTraceVersion) + "_" +
+          std::to_string(config.images) + "_" + key + ".rtrc");
 }
 
 }  // namespace rispp::jpeg

@@ -12,6 +12,10 @@ namespace rispp::jpeg {
 
 enum : HotSpotId { kHotSpotCc = 0, kHotSpotTq = 1, kHotSpotEc = 2 };
 
+/// Bump when the compressor/workload changes in a way that alters recorded
+/// traces — disk cache files are keyed on it (see trace_cache_path).
+inline constexpr int kJpegWorkloadTraceVersion = 1;
+
 struct JpegWorkloadConfig {
   int images = 40;
   int width = 512;   // multiples of 16
@@ -27,6 +31,17 @@ struct JpegWorkloadResult {
 
 JpegWorkloadResult generate_jpeg_workload(const SpecialInstructionSet& set,
                                           const JpegWorkloadConfig& config);
+
+/// Digest of everything that determines a recorded JPEG trace: the SI set
+/// fingerprint plus every JpegWorkloadConfig field.
+std::uint64_t workload_fingerprint(const SpecialInstructionSet& set,
+                                   const JpegWorkloadConfig& config);
+
+/// Cache file a recorded trace for `config` lives at, under
+/// trace_cache_dir() (honors RISPP_TRACE_DIR); keyed by
+/// kJpegWorkloadTraceVersion, the image count and workload_fingerprint().
+std::filesystem::path trace_cache_path(const SpecialInstructionSet& set,
+                                       const JpegWorkloadConfig& config);
 
 /// Forecast seeds for the three hot spots.
 std::vector<std::vector<std::uint64_t>> jpeg_forecast_seeds(const SpecialInstructionSet& set);

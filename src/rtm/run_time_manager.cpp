@@ -180,6 +180,16 @@ void RunTimeManager::advance_reconfig(Cycles now) {
 void RunTimeManager::start_pending_loads(Cycles now) {
   while (!fabric_loading() && !pending_loads_.empty()) {
     const AtomTypeId type = pending_loads_.front();
+    // Ask for the port before scanning for a victim: on the contended retry
+    // path nearly every ask is a denial, and precheck performs the identical
+    // denial bookkeeping without the O(containers) victim scan. On nullopt
+    // an immediate try_start at the same `now` is guaranteed to grant.
+    if (config_.arbiter != nullptr) {
+      if (const auto hint = config_.arbiter->precheck(config_.tenant, type, now)) {
+        denied_until_ = *hint;
+        return;
+      }
+    }
     const auto victim = pick_victim(*cf_, demand_, soft_demand_, type_last_used_);
     if (!victim.has_value()) {
       // Every container is pinned (in-flight loads); retry at the next
@@ -187,8 +197,8 @@ void RunTimeManager::start_pending_loads(Cycles now) {
       RISPP_DEBUG("load of atom type " << type << " deferred: no victim container");
       return;
     }
-    // Ask for the port before committing the victim: a denial must leave the
-    // container untouched (the claim stands; retry at the hint).
+    // A denial must leave the container untouched (the claim stands; retry
+    // at the hint) — unreachable after a clean precheck, kept for solo mode.
     if (const auto hint = fabric_try_start(type, *victim, now)) {
       denied_until_ = *hint;
       return;
@@ -211,6 +221,12 @@ void RunTimeManager::start_pending_loads(Cycles now) {
       join_into(hard, prefetch_demand_);
       while (!fabric_loading() && !prefetch_loads_.empty()) {
         const AtomTypeId type = prefetch_loads_.front();
+        if (config_.arbiter != nullptr) {
+          if (const auto hint = config_.arbiter->precheck(config_.tenant, type, now)) {
+            denied_until_ = *hint;
+            return;
+          }
+        }
         const auto victim = pick_victim(*cf_, hard, soft_demand_, type_last_used_);
         if (!victim.has_value()) return;
         if (const auto hint = fabric_try_start(type, *victim, now)) {
@@ -287,6 +303,51 @@ void RunTimeManager::compute_prefetch() {
     join_into(prefetch_demand_, set_->si(s.si).molecule(s.mol).atoms);
   prefetch_loads_.assign(decision.loads.begin(), decision.loads.end());
   RISPP_DEBUG("prefetching " << prefetch_loads_.size() << " atoms for hot spot " << next);
+}
+
+bool RunTimeManager::entry_is_port_silent(const WorkloadTrace& trace,
+                                          std::size_t instance) const {
+  // Only meaningful under an arbiter, and only sound while quotas are
+  // frozen: a pending rebalance could shrink cf_ between this probe and the
+  // entry it predicts, invalidating the budget baked into the key below.
+  if (config_.arbiter == nullptr || config_.arbiter->rebalance_possible()) return false;
+  // Prefetch keeps asking the port after the schedule drains; the oracle
+  // forecast is rebuilt per instance (cheap to probe but decide() bypasses
+  // the memo's steady state far more often); the shared cache mutates under
+  // a lock on every lookup. All three fall back to normal stepping.
+  if (config_.enable_prefetch || config_.forecast_mode == ForecastMode::kOracle) return false;
+  if (!config_.enable_decision_cache || config_.shared_decision_cache != nullptr) return false;
+  // Anything queued or in flight makes the entry port-active by definition.
+  if (!reconfig_idle()) return false;
+
+  const HotSpotId hs = trace.instances[instance].hot_spot;
+  const HotSpotInfo& info = trace.hot_spots[hs];
+  // The forecast the entry will read. monitor_.forecast() is a plain getter
+  // (folding happens at end_hot_spot, which already ran for the previous
+  // instance), so this equals what on_hot_spot_entry sees.
+  const std::vector<std::uint64_t>& forecast = config_.forecast_mode == ForecastMode::kMonitored
+                                                   ? monitor_.forecast(hs)
+                                                   : seeds_[hs];
+  const Molecule& ready = cf_->ready_atoms();
+  const unsigned budget = cf_->active();
+
+  // decide()'s key digest, byte-for-byte (see the cached branch there).
+  std::uint64_t hash = fingerprint_mix(0, info.sis.size());
+  for (SiId si : info.sis) hash = fingerprint_mix(hash, si);
+  for (std::uint64_t f : forecast) hash = fingerprint_mix(hash, f);
+  for (std::size_t t = 0; t < ready.dimension(); ++t) hash = fingerprint_mix(hash, ready[t]);
+  hash = fingerprint_mix(hash, budget);
+
+  const auto bucket_it = decision_cache_.find(hash);
+  if (bucket_it == decision_cache_.end()) return false;
+  for (const auto entry_it : bucket_it->second) {
+    if (entry_it->budget == budget && entry_it->sis == info.sis &&
+        entry_it->forecast == forecast && entry_it->ready == ready) {
+      // No splice, no counters: the replayed entry performs those itself.
+      return entry_it->loads.empty();
+    }
+  }
+  return false;
 }
 
 const RunTimeManager::DecisionEntry& RunTimeManager::decide(

@@ -13,6 +13,12 @@
 //    identical executions. A backend's SI latency only changes when an atom
 //    load completes on the reconfiguration port, so between port-completion
 //    events a run of N executions advances in O(1) instead of O(N).
+//
+// replay_instance never mutates the trace and touches only its backend's
+// state — the contract the multi-tenant co-simulation's event-horizon
+// fast-forward (rtm/tenant_sim.cpp, DESIGN §9.1) builds on: whole instances
+// of one tenant fast-forward through this body while the shared fabric is
+// provably quiet for every other tenant.
 #pragma once
 
 #include <cstdint>

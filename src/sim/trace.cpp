@@ -1,7 +1,13 @@
 #include "sim/trace.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <system_error>
 
 #include "base/check.h"
 
@@ -158,6 +164,45 @@ WorkloadTrace WorkloadTrace::load(std::istream& is) {
   }
   trace.runs_built_ = true;
   return trace;
+}
+
+std::filesystem::path trace_cache_dir() {
+  if (const char* env = std::getenv("RISPP_TRACE_DIR"); env != nullptr && *env != '\0')
+    return env;
+  return std::filesystem::temp_directory_path();
+}
+
+void save_trace_file(const WorkloadTrace& trace, const std::filesystem::path& path) {
+  // The atomic counter keeps two writers constructed concurrently in one
+  // process (fleet devices, in-process bench drivers) from clobbering each
+  // other's temp file; distinct processes are separated by the pid.
+  static std::atomic<unsigned> counter{0};
+  const std::filesystem::path tmp = path.string() + "." + std::to_string(::getpid()) +
+                                    "." + std::to_string(counter.fetch_add(1)) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out.good()) return;
+    trace.save(out);
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+std::optional<WorkloadTrace> try_load_trace_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  try {
+    return WorkloadTrace::load(in);
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt or stale-format cache: regenerate
+  }
 }
 
 }  // namespace rispp

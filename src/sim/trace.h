@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,5 +84,20 @@ struct WorkloadTrace {
   std::uint64_t total_executions_ = 0;
   bool runs_built_ = false;
 };
+
+/// Directory recorded-trace cache files live in: $RISPP_TRACE_DIR, or the
+/// system temp directory when unset. Shared by the bench harness and the
+/// fleet's TraceRepository so one warm cache serves both.
+std::filesystem::path trace_cache_dir();
+
+/// Atomically persists `trace` at `path`: writes a pid-and-counter-unique
+/// temp file and renames it into place, so a concurrent reader never sees a
+/// partial trace. Best-effort — unwritable paths are silently skipped (the
+/// cache is an optimization, never a correctness dependency).
+void save_trace_file(const WorkloadTrace& trace, const std::filesystem::path& path);
+
+/// Loads the trace cached at `path`; nullopt when the file is missing or
+/// fails load()'s validation (corrupt / stale format — regenerate).
+std::optional<WorkloadTrace> try_load_trace_file(const std::filesystem::path& path);
 
 }  // namespace rispp

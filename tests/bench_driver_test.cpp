@@ -107,10 +107,10 @@ TEST(EnvDeathTest, ZeroThreadsExitsLoudly) {
 TEST(TraceCacheKey, MutatedSiSetMissesTheCache) {
   const h264::WorkloadConfig config;
   SpecialInstructionSet set = h264sis::build_h264_si_set();
-  const fs::path original = trace_cache_path(set, config);
+  const fs::path original = h264::trace_cache_path(set, config);
 
   SpecialInstructionSet rebuilt = h264sis::build_h264_si_set();
-  EXPECT_EQ(original, trace_cache_path(rebuilt, config))
+  EXPECT_EQ(original, h264::trace_cache_path(rebuilt, config))
       << "same set + config must be deterministic (cache hits at all)";
 
   DataPathGraph extra(&rebuilt.library());
@@ -118,20 +118,20 @@ TEST(TraceCacheKey, MutatedSiSetMissesTheCache) {
   Molecule cap(rebuilt.atom_type_count());
   cap[0] = 1;
   rebuilt.add_si("DriverTestExtra", std::move(extra), cap, 10);
-  EXPECT_NE(original, trace_cache_path(rebuilt, config))
+  EXPECT_NE(original, h264::trace_cache_path(rebuilt, config))
       << "an added SI must change the cache key";
 }
 
 TEST(TraceCacheKey, WorkloadConfigIsPartOfTheKey) {
   const SpecialInstructionSet set = h264sis::build_h264_si_set();
   h264::WorkloadConfig config;
-  const fs::path original = trace_cache_path(set, config);
+  const fs::path original = h264::trace_cache_path(set, config);
   config.encoder.qp += 1;
-  EXPECT_NE(original, trace_cache_path(set, config));
+  EXPECT_NE(original, h264::trace_cache_path(set, config));
 
   h264::WorkloadConfig noise;
   noise.video.seed += 1;
-  EXPECT_NE(original, trace_cache_path(set, noise));
+  EXPECT_NE(original, h264::trace_cache_path(set, noise));
 }
 
 TEST(PerfRecordRoundTrip, BenchPerfLogWritesWhatTheDriverParses) {

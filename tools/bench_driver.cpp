@@ -150,8 +150,10 @@ int main(int argc, char** argv) {
   std::printf("rispp_bench: %zu reports, %u at a time, %u thread(s) each, %d frames\n",
               binaries.size(), options.jobs, options.threads_per_child, frames);
   if (warm) {
-    // One shared cache fill instead of every child racing to encode.
+    // One shared cache fill instead of every child racing to encode — both
+    // the classic bench workload and the fleet benches' mixed contents.
     bench::warm_trace_cache();
+    bench::warm_fleet_trace_cache();
   }
 
   const auto results = bench::run_reports(binaries, options, std::cout);
