@@ -9,7 +9,12 @@
 #include "base/prng.h"
 #include "base/trace_event.h"
 #include "bench/common.h"
+#include "config/h264_platform.h"
 #include "dpg/enumerate.h"
+#include "dpg/makespan_memo.h"
+#include "dse/design_point.h"
+#include "dse/engine.h"
+#include "dse/pareto.h"
 #include "dpg/list_scheduler.h"
 #include "fleet/session_batch.h"
 #include "h264/workload.h"
@@ -641,6 +646,76 @@ void BM_CosimFastForward(benchmark::State& state) {
                                        : "fast-forward+pool4");
 }
 BENCHMARK(BM_CosimFastForward)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// A typical mid-search DSE candidate: the degraded seed of the hand-built
+// platform plus a few work-preserving mutations.
+const config::PlatformSpec& dse_candidate_spec() {
+  static const config::PlatformSpec spec = [] {
+    dse::DesignPoint point = dse::degraded_seed(config::h264_platform_spec());
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 6; ++i) dse::mutate(point, rng);
+    return point.spec;
+  }();
+  return spec;
+}
+
+// One DSE candidate evaluation: the engine fast path (MakespanMemo-backed
+// build + run-batched replay, decision cache on) vs the naive full
+// re-simulation (no memo, scalar replay, cache off). Items = candidates; the
+// rate ratio is the per-candidate win bench/dse_search asserts at >= 10x.
+void BM_DseEvaluateCandidate(benchmark::State& state) {
+  const auto& ctx = cached_context();
+  const config::PlatformSpec& spec = dse_candidate_spec();
+  const Cycles reference = dse::software_reference_cycles(ctx.set, ctx.trace);
+  MakespanMemo memo;
+  dse::DseOptions options;
+  options.makespan_memo = &memo;
+  const bool fast = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fast ? dse::evaluate_candidate(spec, ctx.trace, reference, options)
+             : dse::evaluate_candidate_naive(spec, ctx.trace, reference, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(fast ? "memoized+batched" : "naive");
+}
+BENCHMARK(BM_DseEvaluateCandidate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Molecule-table construction for a candidate spec: the memo-less full
+// list-scheduling pass vs the warm-MakespanMemo steady state (every graph a
+// mutation left untouched hits the memo instead of rescheduling) — the
+// incremental latency re-estimation the search's build stage rides.
+void BM_IncrementalLatency(benchmark::State& state) {
+  const config::PlatformSpec& spec = dse_candidate_spec();
+  const bool memoized = state.range(0) != 0;
+  MakespanMemo memo;
+  if (memoized) config::build_platform(spec, &memo);  // warm
+  for (auto _ : state)
+    benchmark::DoNotOptimize(config::build_platform(spec, memoized ? &memo : nullptr));
+  state.SetLabel(memoized ? "warm memo" : "full reschedule");
+}
+BENCHMARK(BM_IncrementalLatency)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Pareto-front maintenance: a fixed stream of 256 random (slices, speedup)
+// points through insert() — dominance scan, sorted insertion, eviction of
+// newly-dominated members. Items = insert calls.
+void BM_ParetoInsert(benchmark::State& state) {
+  Xoshiro256 rng(0xd5e);
+  std::vector<dse::ParetoPoint> points(256);
+  for (auto& p : points) {
+    p.slices = 100 + static_cast<unsigned>(rng.bounded(900));
+    p.speedup = 1.0 + static_cast<double>(rng.bounded(3000)) / 100.0;
+    p.fingerprint = rng.next();
+  }
+  for (auto _ : state) {
+    dse::ParetoFront front;
+    for (const auto& p : points) front.insert(p);
+    benchmark::DoNotOptimize(front.points().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_ParetoInsert);
 
 }  // namespace
 

@@ -1,0 +1,88 @@
+#include "config/h264_platform.h"
+
+namespace rispp::config {
+namespace {
+
+/// Exception entry/exit cost of the SI trap, as in isa/h264_si_library.cpp.
+constexpr Cycles kTrap = 64;
+
+PlatformSi si(std::string name, unsigned molecule_target, unsigned min_determinant,
+              std::vector<std::pair<std::string, unsigned>> caps,
+              std::vector<PlatformBlock> blocks) {
+  PlatformSi out;
+  out.name = std::move(name);
+  out.trap_overhead = kTrap;
+  out.molecule_target = molecule_target;
+  out.min_determinant = min_determinant;
+  out.caps = std::move(caps);
+  out.blocks = std::move(blocks);
+  return out;
+}
+
+}  // namespace
+
+PlatformSpec h264_platform_spec() {
+  PlatformSpec spec;
+  // Atom table in library order: name, hw op latency, sw cycles, slices.
+  spec.atoms = {
+      {"SADRow", 2, 64, 410},       {"QSub", 1, 24, 330},
+      {"HadCore", 2, 48, 540},      {"SAV", 1, 20, 290},
+      {"Repack", 1, 12, 230},       {"TransformRow", 2, 40, 500},
+      {"QuantCore", 2, 36, 470},    {"BytePack", 1, 16, 340},
+      {"PointFilter", 2, 56, 620},  {"Clip3", 1, 12, 210},
+      {"PredAvg", 1, 24, 300},      {"EdgeCond", 1, 20, 350},
+      {"FiltCore", 2, 44, 580},
+  };
+
+  // SAD: 16 independent row SADs.
+  spec.sis.push_back(si("SAD", 3, 0, {{"SADRow", 3}},
+                        {{1, {{"SADRow", 16}}}}));
+
+  // SATD: 16 4x4 blocks of Repack -> 2 QSub -> 2+2 Hadamard -> SAV.
+  spec.sis.push_back(si("SATD", 20, 5,
+                        {{"QSub", 4}, {"HadCore", 6}, {"SAV", 3}, {"Repack", 2}},
+                        {{16,
+                          {{"Repack", 1},
+                           {"QSub", 2},
+                           {"HadCore", 2},
+                           {"HadCore", 2},
+                           {"SAV", 1}}}}));
+
+  // (I)DCT: 16 blocks of Repack -> row -> column -> quant.
+  spec.sis.push_back(si("(I)DCT", 12, 0,
+                        {{"TransformRow", 4}, {"QuantCore", 3}, {"Repack", 2}},
+                        {{16,
+                          {{"Repack", 1},
+                           {"TransformRow", 1},
+                           {"TransformRow", 1},
+                           {"QuantCore", 1}}}}));
+
+  // (I)HT 2x2: chroma DC Hadamard, two planes.
+  spec.sis.push_back(si("(I)HT 2x2", 2, 0, {{"HadCore", 2}},
+                        {{1, {{"HadCore", 2}}}}));
+
+  // (I)HT 4x4: luma DC Hadamard rows -> columns -> scaling sums.
+  spec.sis.push_back(si("(I)HT 4x4", 7, 0, {{"HadCore", 4}, {"SAV", 2}},
+                        {{1, {{"HadCore", 8}, {"HadCore", 4}, {"SAV", 8}}}}));
+
+  // MC 4: Figure 3 pipeline over 8 4x8 sub-blocks.
+  spec.sis.push_back(si("MC 4", 11, 0,
+                        {{"BytePack", 2}, {"PointFilter", 6}, {"Clip3", 2}},
+                        {{8, {{"BytePack", 4}, {"PointFilter", 6}, {"Clip3", 2}}}}));
+
+  // IPred HDC: horizontal DC intra prediction.
+  spec.sis.push_back(si("IPred HDC", 4, 0, {{"PredAvg", 3}, {"Clip3", 2}},
+                        {{1, {{"PredAvg", 8}, {"Clip3", 2}}}}));
+
+  // IPred VDC: vertical DC intra prediction.
+  spec.sis.push_back(si("IPred VDC", 3, 0, {{"PredAvg", 3}},
+                        {{1, {{"PredAvg", 12}}}}));
+
+  // LF_BS4: 16 pixel-edge condition checks each feeding a strong filter.
+  spec.sis.push_back(si("LF_BS4", 5, 0, {{"EdgeCond", 2}, {"FiltCore", 4}},
+                        {{16, {{"EdgeCond", 1}, {"FiltCore", 1}}}}));
+
+  return spec;
+}
+
+}  // namespace rispp::config

@@ -1,0 +1,18 @@
+// The Table 1 H.264 platform as a PlatformSpec — the hand-built
+// isa/h264_si_library.cpp expressed in the `.rispp` platform IR.
+//
+// build_platform(h264_platform_spec()) constructs the exact same
+// SpecialInstructionSet as h264sis::build_h264_si_set() (equal isa
+// fingerprint; asserted by tests/dse_test.cpp). The DSE engine explores from
+// this spec: degraded_seed() strips it down, mutations grow it back, and the
+// discovered ISA's speedup is reported relative to this hand-built one.
+#pragma once
+
+#include "config/platform_parser.h"
+
+namespace rispp::config {
+
+/// The hand-built H.264 platform of Table 1: 13 atom types, 9 SIs.
+PlatformSpec h264_platform_spec();
+
+}  // namespace rispp::config

@@ -1,6 +1,7 @@
 #include "config/platform_parser.h"
 
 #include <istream>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -9,10 +10,6 @@
 
 namespace rispp::config {
 namespace {
-
-struct Token {
-  std::string text;
-};
 
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
@@ -70,42 +67,29 @@ unsigned parse_count(int line, const std::string& token) {
   return static_cast<unsigned>(n);
 }
 
-struct LayerSpec {
-  std::string atom;
-  unsigned count = 0;
-};
-
-struct SiSpec {
-  std::string name;
-  Cycles trap_overhead = 64;
-  unsigned molecule_target = 0;
-  unsigned min_determinant = 0;
-  std::vector<std::pair<std::string, unsigned>> caps;
-  /// Blocks of chained layers; repetition per block.
-  std::vector<std::pair<std::vector<LayerSpec>, unsigned>> blocks;
-};
+/// Quotes a name for emission; the tokenizer strips the quotes back off, so
+/// quoting unconditionally keeps names with spaces round-trippable.
+std::string quoted(const std::string& name) { return "\"" + name + "\""; }
 
 }  // namespace
 
-SpecialInstructionSet parse_platform(std::istream& input) {
-  AtomLibrary library;
-  std::vector<SiSpec> sis;
+PlatformSpec parse_platform_spec(std::istream& input) {
+  PlatformSpec spec;
+  std::set<std::string> atom_names;
 
   enum class State { kTop, kSi, kBlock };
   State state = State::kTop;
-  SiSpec current_si;
-  std::vector<LayerSpec> current_block;
-  unsigned current_block_count = 1;
+  PlatformSi current_si;
+  PlatformBlock current_block;
   bool explicit_block = false;
 
   auto flush_block = [&](int line) {
-    if (current_block.empty()) {
+    if (current_block.layers.empty()) {
       if (explicit_block) fail(line, "empty block");
       return;
     }
-    current_si.blocks.emplace_back(std::move(current_block), current_block_count);
-    current_block.clear();
-    current_block_count = 1;
+    current_si.blocks.push_back(std::move(current_block));
+    current_block = PlatformBlock{};
   };
 
   std::string line_text;
@@ -124,14 +108,12 @@ SpecialInstructionSet parse_platform(std::istream& input) {
         type.op_latency = static_cast<Cycles>(parse_int(line, tokens[2]));
         type.sw_op_cycles = static_cast<Cycles>(parse_int(line, tokens[3]));
         type.slices = static_cast<unsigned>(parse_int(line, tokens[4]));
-        try {
-          library.add(type);
-        } catch (const std::logic_error& e) {
-          fail(line, e.what());
-        }
+        if (!atom_names.insert(type.name).second)
+          fail(line, "duplicate atom type '" + type.name + "'");
+        spec.atoms.push_back(std::move(type));
       } else if (head == "si") {
         if (tokens.size() < 2) fail(line, "si needs a name");
-        current_si = SiSpec{};
+        current_si = PlatformSi{};
         current_si.name = tokens[1];
         for (std::size_t i = 2; i < tokens.size(); ++i) {
           std::string key, value;
@@ -163,25 +145,25 @@ SpecialInstructionSet parse_platform(std::istream& input) {
       if (state == State::kBlock) fail(line, "blocks do not nest");
       flush_block(line);  // implicit layers before the block form their own block
       if (tokens.size() != 2) fail(line, "block needs an xN count");
-      current_block_count = parse_count(line, tokens[1]);
+      current_block.repeat = parse_count(line, tokens[1]);
       explicit_block = true;
       state = State::kBlock;
     } else if (head == "layer") {
       if (tokens.size() != 3) fail(line, "layer needs: atom-name xN");
-      LayerSpec spec;
-      spec.atom = tokens[1];
-      spec.count = parse_count(line, tokens[2]);
-      current_block.push_back(spec);
+      PlatformLayer layer;
+      layer.atom = tokens[1];
+      layer.count = parse_count(line, tokens[2]);
+      current_block.layers.push_back(std::move(layer));
     } else if (head == "end") {
       if (state == State::kBlock) {
-        if (current_block.empty()) fail(line, "empty block");
+        if (current_block.layers.empty()) fail(line, "empty block");
         flush_block(line);
         explicit_block = false;
         state = State::kSi;
       } else {
         flush_block(line);
         if (current_si.blocks.empty()) fail(line, "si '" + current_si.name + "' has no layers");
-        sis.push_back(std::move(current_si));
+        spec.sis.push_back(std::move(current_si));
         state = State::kTop;
       }
     } else {
@@ -189,35 +171,76 @@ SpecialInstructionSet parse_platform(std::istream& input) {
     }
   }
   if (state != State::kTop) fail(line, "unterminated si '" + current_si.name + "'");
-  if (library.size() == 0) fail(line, "no atoms defined");
-  if (sis.empty()) fail(line, "no SIs defined");
+  if (spec.atoms.empty()) fail(line, "no atoms defined");
+  if (spec.sis.empty()) fail(line, "no SIs defined");
+  return spec;
+}
+
+PlatformSpec parse_platform_spec_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_platform_spec(is);
+}
+
+SpecialInstructionSet build_platform(const PlatformSpec& spec, MakespanMemo* makespan_memo) {
+  AtomLibrary library;
+  for (const AtomType& type : spec.atoms) library.add(type);
 
   SpecialInstructionSet set(std::move(library));
-  for (SiSpec& spec : sis) {
+  for (const PlatformSi& si : spec.sis) {
     DataPathGraph graph(&set.library());
-    for (const auto& [layers, repeat] : spec.blocks) {
-      for (unsigned r = 0; r < repeat; ++r) {
+    for (const PlatformBlock& block : si.blocks) {
+      for (unsigned r = 0; r < block.repeat; ++r) {
         std::vector<NodeId> prev;
-        for (const LayerSpec& layer : layers) {
+        for (const PlatformLayer& layer : block.layers) {
           const auto type = set.library().find(layer.atom);
           if (!type.has_value())
-            throw std::logic_error("platform description: si '" + spec.name +
+            throw std::logic_error("platform description: si '" + si.name +
                                    "' uses unknown atom '" + layer.atom + "'");
           prev = graph.add_layer(*type, layer.count, prev);
         }
       }
     }
     Molecule caps(set.library().size());
-    for (const auto& [name, cap] : spec.caps) {
+    for (const auto& [name, cap] : si.caps) {
       const auto type = set.library().find(name);
       if (!type.has_value())
         throw std::logic_error("platform description: cap for unknown atom '" + name + "'");
       caps[*type] = static_cast<AtomCount>(cap);
     }
-    set.add_si(spec.name, std::move(graph), caps, spec.trap_overhead, spec.molecule_target,
-               spec.min_determinant);
+    set.add_si(si.name, std::move(graph), caps, si.trap_overhead, si.molecule_target,
+               si.min_determinant, makespan_memo);
   }
   return set;
+}
+
+std::string emit_platform(const PlatformSpec& spec) {
+  std::ostringstream os;
+  os << "# RISPP platform: " << spec.sis.size() << " SIs over " << spec.atoms.size()
+     << " atom types\n";
+  for (const AtomType& a : spec.atoms)
+    os << "atom " << quoted(a.name) << " " << a.op_latency << " " << a.sw_op_cycles << " "
+       << a.slices << "\n";
+  for (const PlatformSi& si : spec.sis) {
+    os << "\nsi " << quoted(si.name) << " trap=" << si.trap_overhead
+       << " molecules=" << si.molecule_target << " min_det=" << si.min_determinant << "\n";
+    if (!si.caps.empty()) {
+      os << "  caps";
+      for (const auto& [name, cap] : si.caps) os << " " << quoted(name) << "=" << cap;
+      os << "\n";
+    }
+    for (const PlatformBlock& block : si.blocks) {
+      os << "  block x" << block.repeat << "\n";
+      for (const PlatformLayer& layer : block.layers)
+        os << "    layer " << quoted(layer.atom) << " x" << layer.count << "\n";
+      os << "  end\n";
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+SpecialInstructionSet parse_platform(std::istream& input) {
+  return build_platform(parse_platform_spec(input));
 }
 
 SpecialInstructionSet parse_platform_string(const std::string& text) {

@@ -28,24 +28,88 @@
 // chain N times as independent sub-graphs (block-level parallelism).
 // `molecules=` is the Table 1 style thinning target, `min_det=` the minimum
 // hardware-molecule determinant; both optional.
+//
+// The language round-trips through a structured IR (PlatformSpec): parsing
+// yields a spec, build_platform() turns a spec into a SpecialInstructionSet,
+// and emit_platform() serializes a spec back to the description language
+// such that parse_platform_spec(emit_platform(s)) == s. The DSE engine
+// (src/dse) mutates PlatformSpecs directly and emits its discovered ISAs as
+// `.rispp` files through the same emitter.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "isa/si.h"
 
 namespace rispp::config {
 
+/// One `layer <atom> xN` line: `count` parallel occurrences of `atom`, each
+/// depending on every node of the previous layer in the chain.
+struct PlatformLayer {
+  std::string atom;
+  unsigned count = 0;
+  bool operator==(const PlatformLayer&) const = default;
+};
+
+/// One `block xN` (or the implicit block formed by bare layer lines): its
+/// layer chain instantiated `repeat` times as independent sub-graphs.
+struct PlatformBlock {
+  unsigned repeat = 1;
+  std::vector<PlatformLayer> layers;
+  bool operator==(const PlatformBlock&) const = default;
+};
+
+struct PlatformSi {
+  std::string name;
+  Cycles trap_overhead = 64;
+  unsigned molecule_target = 0;   // 0 = keep every enumerated molecule
+  unsigned min_determinant = 0;   // 0 = no minimum
+  /// Instance caps by atom name, in declaration order. Types used by the
+  /// graph but absent here default to their occurrence count.
+  std::vector<std::pair<std::string, unsigned>> caps;
+  std::vector<PlatformBlock> blocks;
+  bool operator==(const PlatformSi&) const = default;
+};
+
+/// The structured form of one platform description file.
+struct PlatformSpec {
+  std::vector<AtomType> atoms;
+  std::vector<PlatformSi> sis;
+  bool operator==(const PlatformSpec&) const = default;
+};
+
+/// Parses a platform description into its IR; throws std::logic_error with a
+/// line number on malformed input. Purely syntactic — name resolution and
+/// molecule enumeration happen in build_platform().
+PlatformSpec parse_platform_spec(std::istream& input);
+PlatformSpec parse_platform_spec_string(const std::string& text);
+
+/// Builds the instruction set a spec describes; throws std::logic_error on
+/// unknown atom names (layers or caps naming atoms the spec never declared).
+/// `makespan_memo` (optional) is forwarded to add_si so molecule enumeration
+/// reuses memoized list-schedule makespans — the DSE engine's candidate
+/// build path; results are bit-identical with or without it.
+SpecialInstructionSet build_platform(const PlatformSpec& spec,
+                                     MakespanMemo* makespan_memo = nullptr);
+
+/// Serializes a spec back to the description language. Exact round trip:
+/// parse_platform_spec(emit_platform(s)) == s for every buildable spec, so
+/// an emitted file reconstructs a bit-identical instruction set (equal isa
+/// fingerprint — asserted by the DSE driver and tests).
+std::string emit_platform(const PlatformSpec& spec);
+
 /// Parses a platform description; throws std::logic_error with a line number
-/// on malformed input.
+/// on malformed input. Equivalent to build_platform(parse_platform_spec()).
 SpecialInstructionSet parse_platform(std::istream& input);
 SpecialInstructionSet parse_platform_string(const std::string& text);
 
 /// Renders a human-readable report of `set`: the atom table in `atom` line
 /// syntax plus, per SI, the derived molecule list (as comments). Graph
 /// structure is not reconstructed, so the output is documentation, not a
-/// round-trip serialization.
+/// round-trip serialization (emit_platform on the spec is).
 std::string describe_platform(const SpecialInstructionSet& set);
 
 }  // namespace rispp::config

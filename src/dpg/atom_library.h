@@ -27,6 +27,8 @@ struct AtomType {
   /// FPGA slice count — an area proxy used by the bitstream-size model
   /// (paper: average atom is 421 slices / 60,488-byte partial bitstream).
   unsigned slices = 421;
+
+  bool operator==(const AtomType&) const = default;
 };
 
 class AtomLibrary {

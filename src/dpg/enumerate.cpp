@@ -7,8 +7,9 @@
 
 namespace rispp {
 
-std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
-                                              const EnumerationOptions& options) {
+std::vector<MoleculeImpl> detail::enumerate_molecules_with(
+    const DataPathGraph& graph, const EnumerationOptions& options,
+    const std::function<Cycles(const Molecule&)>& latency) {
   const Molecule occ = graph.occurrences();
   const std::size_t dim = occ.dimension();
 
@@ -31,7 +32,7 @@ std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
   Molecule current(dim);
   for (std::size_t t : used_types) current[t] = 1;
   for (;;) {
-    all.push_back(MoleculeImpl{current, molecule_latency(graph, current)});
+    all.push_back(MoleculeImpl{current, latency(current)});
     // Odometer increment over used types.
     std::size_t k = 0;
     for (; k < used_types.size(); ++k) {
@@ -62,6 +63,12 @@ std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
                                         b.atoms.counts().begin(), b.atoms.counts().end());
   });
   return kept;
+}
+
+std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
+                                              const EnumerationOptions& options) {
+  return detail::enumerate_molecules_with(
+      graph, options, [&](const Molecule& m) { return molecule_latency(graph, m); });
 }
 
 }  // namespace rispp

@@ -13,6 +13,7 @@
 // time, so eq. (4) cleans them there instead.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "alg/molecule.h"
@@ -36,5 +37,14 @@ struct EnumerationOptions {
 /// and, within equal determinant, ascending latency.
 std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
                                               const EnumerationOptions& options);
+
+namespace detail {
+/// Implementation hook shared with the memoized overload in makespan_memo.h:
+/// identical enumeration/cleaning, with every candidate's latency supplied by
+/// `latency` instead of the list scheduler directly.
+std::vector<MoleculeImpl> enumerate_molecules_with(
+    const DataPathGraph& graph, const EnumerationOptions& options,
+    const std::function<Cycles(const Molecule&)>& latency);
+}  // namespace detail
 
 }  // namespace rispp

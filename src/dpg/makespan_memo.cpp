@@ -1,0 +1,114 @@
+#include "dpg/makespan_memo.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/metrics.h"
+#include "dpg/list_scheduler.h"
+
+namespace rispp {
+namespace {
+
+// Local FNV-1a (isa/ owns fingerprint_mix and sits above dpg/).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+MakespanGraphKey makespan_graph_key(const DataPathGraph& graph) {
+  MakespanGraphKey key;
+  // Canonical type indices in first-use order make the digest independent of
+  // the library's type-id assignment (mutated candidates rebuild libraries).
+  std::vector<std::uint32_t> canonical(graph.library().size(),
+                                       static_cast<std::uint32_t>(-1));
+  std::uint64_t h = mix(kFnvOffset, graph.node_count());
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    const DpgNode& node = graph.node(id);
+    if (canonical[node.type] == static_cast<std::uint32_t>(-1)) {
+      canonical[node.type] = static_cast<std::uint32_t>(key.used_types.size());
+      key.used_types.push_back(node.type);
+    }
+    h = mix(h, canonical[node.type]);
+    h = mix(h, graph.library().type(node.type).op_latency);
+    h = mix(h, node.preds.size());
+    for (NodeId pred : node.preds) h = mix(h, pred);
+  }
+  key.digest = h;
+  return key;
+}
+
+std::size_t MakespanMemo::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = k.digest;
+  for (AtomCount c : k.counts) h = mix(h, c);
+  return static_cast<std::size_t>(h);
+}
+
+Cycles MakespanMemo::latency(const DataPathGraph& graph, const MakespanGraphKey& key,
+                             const Molecule& instances) {
+  Key packed;
+  packed.digest = key.digest;
+  packed.counts.reserve(key.used_types.size());
+  for (AtomTypeId t : key.used_types) packed.counts.push_back(instances[t]);
+
+  static MetricCounter& hits = metric_counter("dse.makespan_memo.hits");
+  static MetricCounter& misses = metric_counter("dse.makespan_memo.misses");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(packed);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      hits.add();
+      return it->second;
+    }
+  }
+  // Schedule outside the lock: the value is a pure function of the key, so a
+  // concurrent duplicate computation inserts the same result.
+  const Cycles makespan = molecule_latency(graph, instances);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    misses.add();
+    map_.emplace(std::move(packed), makespan);
+  }
+  return makespan;
+}
+
+MakespanMemo::Stats MakespanMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MakespanMemo::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void MakespanMemo::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+MakespanMemo& MakespanMemo::global() {
+  static MakespanMemo* memo = new MakespanMemo();  // leaked: process lifetime
+  return *memo;
+}
+
+std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
+                                              const EnumerationOptions& options,
+                                              MakespanMemo* memo) {
+  if (memo == nullptr) return enumerate_molecules(graph, options);
+  const MakespanGraphKey key = makespan_graph_key(graph);
+  return detail::enumerate_molecules_with(
+      graph, options, [&](const Molecule& m) { return memo->latency(graph, key, m); });
+}
+
+}  // namespace rispp

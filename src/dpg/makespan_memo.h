@@ -1,0 +1,88 @@
+// Memoized list-schedule makespans, keyed on graph *structure*.
+//
+// The DSE engine (src/dse) evaluates thousands of candidate platforms whose
+// SIs mostly share data-path graphs: a single-atom mutation touches one SI
+// and leaves the other eight identical, and even the touched SI usually
+// re-appears in later generations (mutations are invertible). Re-running the
+// list scheduler over every (graph, instance-vector) pair per candidate is
+// the dominant cost of candidate construction, and almost all of that work
+// is repeated.
+//
+// MakespanMemo caches makespans under a *library-independent* structure key:
+// nodes are described by (canonical type index in first-use order, hardware
+// op latency, predecessor list), so two graphs that differ only in atom
+// naming, type-id assignment or library membership — the normal situation
+// for mutated candidates, which each build a fresh AtomLibrary — share
+// entries. The instance vector is packed over used types in the same
+// canonical order. The memoized value is a pure function of the key, so
+// concurrent lookups from pool workers are deterministic regardless of
+// interleaving; the full recompute (list_schedule) stays available as the
+// fuzz oracle (tests/dse_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "alg/molecule.h"
+#include "base/types.h"
+#include "dpg/enumerate.h"
+#include "dpg/graph.h"
+
+namespace rispp {
+
+/// Precomputed per-graph memoization handle: the canonical structure digest
+/// plus the used atom types in first-use order (the count-packing order).
+/// Compute once per graph (O(nodes)), then every latency lookup is O(types).
+struct MakespanGraphKey {
+  std::uint64_t digest = 0;
+  std::vector<AtomTypeId> used_types;
+};
+
+MakespanGraphKey makespan_graph_key(const DataPathGraph& graph);
+
+class MakespanMemo {
+ public:
+  /// Makespan of `graph` under `instances`, memoized. `key` must be
+  /// makespan_graph_key(graph); `instances` must satisfy the list-scheduler
+  /// precondition (>= 1 instance of every used type). Thread-safe.
+  Cycles latency(const DataPathGraph& graph, const MakespanGraphKey& key,
+                 const Molecule& instances);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Process-wide instance shared by every DSE engine (candidates from
+  /// different searches overlap whenever they mutate the same seed).
+  static MakespanMemo& global();
+
+ private:
+  struct Key {
+    std::uint64_t digest = 0;
+    std::vector<AtomCount> counts;  // used types only, first-use order
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Cycles, KeyHash> map_;
+  Stats stats_;
+};
+
+/// enumerate_molecules with every makespan routed through `memo` (nullptr
+/// falls back to the plain path). Bit-identical to the memo-less overload —
+/// asserted by the DSE fuzz tests — since the memo value is a pure function
+/// of the structure key.
+std::vector<MoleculeImpl> enumerate_molecules(const DataPathGraph& graph,
+                                              const EnumerationOptions& options,
+                                              MakespanMemo* memo);
+
+}  // namespace rispp

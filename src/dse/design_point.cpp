@@ -1,0 +1,276 @@
+#include "dse/design_point.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace rispp::dse {
+namespace {
+
+using config::PlatformBlock;
+using config::PlatformLayer;
+using config::PlatformSi;
+using config::PlatformSpec;
+
+const AtomType* find_type(const std::vector<AtomType>& atoms, const std::string& name) {
+  for (const AtomType& a : atoms)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+unsigned cap_of(const PlatformSi& si, const std::string& name) {
+  for (const auto& [n, cap] : si.caps)
+    if (n == name) return cap;
+  return 1;
+}
+
+/// Sets `name`'s cap to max(existing, cap) — split re-grants capacity without
+/// ever revoking what another layer of the same SI already holds.
+void raise_cap(PlatformSi& si, const std::string& name, unsigned cap) {
+  for (auto& [n, c] : si.caps) {
+    if (n == name) {
+      c = std::max(c, cap);
+      return;
+    }
+  }
+  si.caps.emplace_back(name, cap);
+}
+
+// ---- mutation operators (structural edit only; mutate() canonicalizes and
+// ---- enforces the global bounds afterwards) -------------------------------
+
+bool try_cap_up(DesignPoint& p, Xoshiro256& rng) {
+  PlatformSi& si = p.spec.sis[rng.bounded(p.spec.sis.size())];
+  if (si.caps.empty()) return false;
+  auto& entry = si.caps[rng.bounded(si.caps.size())];
+  if (entry.second + 1 > si_occurrences(si, entry.first)) return false;
+  ++entry.second;
+  return true;
+}
+
+bool try_cap_down(DesignPoint& p, Xoshiro256& rng) {
+  PlatformSi& si = p.spec.sis[rng.bounded(p.spec.sis.size())];
+  if (si.caps.empty()) return false;
+  auto& entry = si.caps[rng.bounded(si.caps.size())];
+  if (entry.second <= 1) return false;
+  --entry.second;
+  return true;
+}
+
+bool try_fuse(DesignPoint& p, Xoshiro256& rng) {
+  PlatformSi& si = p.spec.sis[rng.bounded(p.spec.sis.size())];
+  PlatformBlock& block = si.blocks[rng.bounded(si.blocks.size())];
+  if (block.layers.size() < 2) return false;
+  const std::size_t i = rng.bounded(block.layers.size() - 1);
+  const PlatformLayer a = block.layers[i];
+  const PlatformLayer b = block.layers[i + 1];
+  const unsigned g = std::gcd(a.count, b.count);
+
+  // One fused node serially covers (a.count/g) of a plus (b.count/g) of b;
+  // adjacent identical elementary parts coalesce ("QSubx2+QSub" -> "QSubx3").
+  std::vector<AtomPart> parts;
+  const auto append = [&](const std::string& atom, unsigned scale) {
+    for (AtomPart part : parts_of(p, atom)) {
+      part.count *= scale;
+      if (!parts.empty() && parts.back().atom == part.atom)
+        parts.back().count += part.count;
+      else
+        parts.push_back(std::move(part));
+    }
+  };
+  append(a.atom, a.count / g);
+  append(b.atom, b.count / g);
+  if (parts.size() > kMaxFusedParts) return false;
+  const std::string name = fused_atom_name(parts);
+  if (name.size() > 64) return false;
+
+  const unsigned fused_cap = std::max(1u, std::min(cap_of(si, a.atom), cap_of(si, b.atom)));
+  p.composition.emplace(name, std::move(parts));  // same name => same parts
+  block.layers[i] = PlatformLayer{name, g};
+  block.layers.erase(block.layers.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  raise_cap(si, name, fused_cap);
+  return true;
+}
+
+bool try_split(DesignPoint& p, Xoshiro256& rng) {
+  struct Site {
+    std::size_t si, block, layer;
+  };
+  std::vector<Site> sites;
+  for (std::size_t s = 0; s < p.spec.sis.size(); ++s)
+    for (std::size_t b = 0; b < p.spec.sis[s].blocks.size(); ++b)
+      for (std::size_t l = 0; l < p.spec.sis[s].blocks[b].layers.size(); ++l)
+        if (p.composition.contains(p.spec.sis[s].blocks[b].layers[l].atom))
+          sites.push_back(Site{s, b, l});
+  if (sites.empty()) return false;
+  const Site site = sites[rng.bounded(sites.size())];
+  PlatformSi& si = p.spec.sis[site.si];
+  PlatformBlock& block = si.blocks[site.block];
+  const PlatformLayer fused = block.layers[site.layer];
+  const std::vector<AtomPart>& parts = p.composition.at(fused.atom);
+  const unsigned fused_cap = cap_of(si, fused.atom);
+
+  std::vector<PlatformLayer> replacement;
+  replacement.reserve(parts.size());
+  for (const AtomPart& part : parts)
+    replacement.push_back(PlatformLayer{part.atom, fused.count * part.count});
+  block.layers.erase(block.layers.begin() + static_cast<std::ptrdiff_t>(site.layer));
+  block.layers.insert(block.layers.begin() + static_cast<std::ptrdiff_t>(site.layer),
+                      replacement.begin(), replacement.end());
+  // The fused pipes' capacity re-expands into the parts they covered.
+  for (const AtomPart& part : parts) raise_cap(si, part.atom, fused_cap * part.count);
+  return true;
+}
+
+}  // namespace
+
+unsigned si_occurrences(const PlatformSi& si, const std::string& name) {
+  unsigned occ = 0;
+  for (const PlatformBlock& block : si.blocks)
+    for (const PlatformLayer& layer : block.layers)
+      if (layer.atom == name) occ += block.repeat * layer.count;
+  return occ;
+}
+
+unsigned long si_molecule_grid(const config::PlatformSi& si) {
+  std::map<std::string, unsigned> occ;
+  for (const PlatformBlock& block : si.blocks)
+    for (const PlatformLayer& layer : block.layers)
+      occ[layer.atom] += block.repeat * layer.count;
+  unsigned long grid = 1;
+  for (const auto& [name, occurrences] : occ) {
+    unsigned effective = occurrences;
+    for (const auto& [cap_name, cap] : si.caps)
+      if (cap_name == name && cap != 0) effective = std::min(effective, cap);
+    if (grid > kMaxMoleculesPerSi * kMaxMoleculesPerSi / std::max(1u, effective))
+      return kMaxMoleculesPerSi * kMaxMoleculesPerSi;  // saturate, avoid overflow
+    grid *= effective;
+  }
+  return grid;
+}
+
+std::vector<AtomPart> parts_of(const DesignPoint& point, const std::string& name) {
+  const auto it = point.composition.find(name);
+  if (it != point.composition.end()) return it->second;
+  return {AtomPart{name, 1}};
+}
+
+std::string fused_atom_name(const std::vector<AtomPart>& parts) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) os << "+";
+    os << parts[i].atom;
+    if (parts[i].count != 1) os << "x" << parts[i].count;
+  }
+  return os.str();
+}
+
+AtomType make_fused_type(const DesignPoint& point, const std::vector<AtomPart>& parts) {
+  AtomType fused;
+  fused.name = fused_atom_name(parts);
+  fused.op_latency = 0;
+  fused.sw_op_cycles = 0;
+  fused.slices = 0;
+  for (const AtomPart& part : parts) {
+    const AtomType* elem = find_type(point.elementary, part.atom);
+    RISPP_CHECK_MSG(elem != nullptr, "fused part is not elementary: " << part.atom);
+    fused.op_latency += part.count * elem->op_latency;
+    fused.sw_op_cycles += part.count * elem->sw_op_cycles;
+    fused.slices += part.count * elem->slices;
+  }
+  return fused;
+}
+
+void canonicalize(DesignPoint& point) {
+  std::set<std::string> used;
+  for (const PlatformSi& si : point.spec.sis)
+    for (const PlatformBlock& block : si.blocks)
+      for (const PlatformLayer& layer : block.layers) used.insert(layer.atom);
+
+  std::vector<AtomType> atoms;
+  atoms.reserve(used.size());
+  for (const std::string& name : used) {
+    if (const AtomType* elem = find_type(point.elementary, name)) {
+      atoms.push_back(*elem);
+    } else {
+      const auto it = point.composition.find(name);
+      RISPP_CHECK_MSG(it != point.composition.end(), "atom without definition: " << name);
+      atoms.push_back(make_fused_type(point, it->second));
+    }
+  }
+  point.spec.atoms = std::move(atoms);
+
+  for (PlatformSi& si : point.spec.sis) {
+    std::map<std::string, unsigned> occ;
+    for (const PlatformBlock& block : si.blocks)
+      for (const PlatformLayer& layer : block.layers)
+        occ[layer.atom] += block.repeat * layer.count;
+    std::map<std::string, unsigned> caps;
+    for (const auto& [name, cap] : si.caps)
+      if (occ.contains(name)) caps[name] = std::max(caps[name], cap);
+    si.caps.clear();
+    for (const auto& [name, occurrences] : occ) {
+      const unsigned cap = caps.contains(name) ? caps[name] : 1u;
+      si.caps.emplace_back(name, std::clamp(cap, 1u, occurrences));
+    }
+  }
+}
+
+std::uint64_t spec_digest(const config::PlatformSpec& spec) {
+  const std::string text = config::emit_platform(spec);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+DesignPoint degraded_seed(const config::PlatformSpec& handbuilt) {
+  DesignPoint point;
+  point.spec = handbuilt;
+  point.elementary = handbuilt.atoms;
+  for (PlatformSi& si : point.spec.sis) {
+    si.molecule_target = 0;   // candidates keep every enumerated molecule
+    si.min_determinant = 0;
+    for (auto& [name, cap] : si.caps) cap = 1;
+  }
+  canonicalize(point);  // explicit cap=1 for every used type
+  return point;
+}
+
+bool mutate(DesignPoint& point, Xoshiro256& rng) {
+  // cap-up biased: growing instance counts is the main speedup axis from the
+  // degraded seed; fuse/split re-partition, cap-down backs out of area.
+  enum class Op { kCapUp, kCapDown, kFuse, kSplit };
+  static constexpr Op kOps[] = {Op::kCapUp, Op::kCapUp, Op::kCapUp, Op::kCapUp,
+                                Op::kCapDown, Op::kFuse, Op::kFuse, Op::kSplit};
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    DesignPoint trial = point;
+    bool edited = false;
+    switch (kOps[rng.bounded(std::size(kOps))]) {
+      case Op::kCapUp: edited = try_cap_up(trial, rng); break;
+      case Op::kCapDown: edited = try_cap_down(trial, rng); break;
+      case Op::kFuse: edited = try_fuse(trial, rng); break;
+      case Op::kSplit: edited = try_split(trial, rng); break;
+    }
+    if (!edited) continue;
+    canonicalize(trial);
+    if (trial.spec.atoms.size() > 24) continue;  // keep fingerprints cheap
+    bool bounded = true;
+    for (const PlatformSi& si : trial.spec.sis)
+      if (si_molecule_grid(si) > kMaxMoleculesPerSi) {
+        bounded = false;
+        break;
+      }
+    if (!bounded) continue;
+    point = std::move(trial);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rispp::dse

@@ -1,0 +1,108 @@
+// One point of the SI design space, and the mutations that move through it.
+//
+// A DesignPoint wraps a config::PlatformSpec — the exact IR the `.rispp`
+// platform language round-trips through — plus the bookkeeping the search
+// needs to mutate it soundly: the immutable *elementary* atom table the
+// exploration started from, and the composition of every fused atom it has
+// created (which elementary atoms, how many of each, executed serially).
+//
+// All mutations are work-preserving: they never change the total number of
+// elementary operations an SI performs, only how those operations are
+// partitioned into reloadable atoms and how many instances of each atom the
+// run-time selection may use. Concretely (ISEGEN-style iterative
+// improvement moves):
+//
+//   * cap up/down  — grant or revoke one instance of one atom type for one
+//     SI (molecule-level parallelism knob; bounded by occurrences and by the
+//     per-SI enumeration budget).
+//   * fuse         — merge two adjacent layers [A xC1][B xC2] of one block
+//     into one layer [A(C1/g)+B(C2/g) xg], g = gcd(C1, C2): a coarser atom
+//     executing its parts serially (op latency, software cycles and slices
+//     are the part sums). Fewer, bigger atoms: cheaper to manage, costlier
+//     to reconfigure, less schedulable parallelism.
+//   * split        — the exact inverse: expand a fused layer back into its
+//     constituent elementary layers.
+//
+// Work preservation makes every candidate's trap latency — and therefore the
+// software-only replay of the workload — identical to the seed's, which is
+// what lets one recorded trace and one software-reference cycle count score
+// every candidate (asserted by tests/dse_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/prng.h"
+#include "config/platform_parser.h"
+
+namespace rispp::dse {
+
+/// `count` serial repetitions of one elementary atom inside a fused atom.
+struct AtomPart {
+  std::string atom;
+  unsigned count = 1;
+  bool operator==(const AtomPart&) const = default;
+};
+
+struct DesignPoint {
+  config::PlatformSpec spec;
+  /// The elementary atom table of the seed platform; fused types derive
+  /// their properties from it. Never mutated, never garbage-collected.
+  std::vector<AtomType> elementary;
+  /// Fused atom name -> serial elementary composition. Elementary atoms are
+  /// absent (their composition is themselves).
+  std::map<std::string, std::vector<AtomPart>> composition;
+};
+
+/// Enumeration-cost guard: a mutation may not push one SI's molecule grid
+/// (product over used types of min(cap, occurrences)) past this.
+inline constexpr unsigned long kMaxMoleculesPerSi = 512;
+/// Fused atoms may combine at most this many distinct elementary parts.
+inline constexpr std::size_t kMaxFusedParts = 6;
+
+/// Total occurrences of atom `name` across `si`'s blocks.
+unsigned si_occurrences(const config::PlatformSi& si, const std::string& name);
+
+/// The molecule grid size enumerate_molecules would visit for `si`
+/// (types without an explicit cap count at their occurrence bound).
+unsigned long si_molecule_grid(const config::PlatformSi& si);
+
+/// Serial composition of atom `name`: the mapped parts for fused atoms,
+/// {{name, 1}} for elementary ones.
+std::vector<AtomPart> parts_of(const DesignPoint& point, const std::string& name);
+
+/// Canonical name of a fused composition: "QSubx2+HadCore" style, parts in
+/// composition order, xN suffix omitted when N == 1.
+std::string fused_atom_name(const std::vector<AtomPart>& parts);
+
+/// AtomType of a fused composition: op latency / software cycles / slices
+/// are the part-weighted sums over the elementary table (serial execution).
+AtomType make_fused_type(const DesignPoint& point, const std::vector<AtomPart>& parts);
+
+/// Rewrites the point into canonical form: spec.atoms holds exactly the
+/// atoms some SI layer uses, sorted by name; every SI caps every type it
+/// uses (missing entries default to 1, all clamped to [1, occurrences]) with
+/// entries sorted by name. Two points describing observably identical
+/// platforms canonicalize to equal specs, so the spec digest (and the built
+/// set's fingerprint) deduplicate equivalent candidates.
+void canonicalize(DesignPoint& point);
+
+/// FNV-1a digest of the emitted platform text — the proposal-level dedupe
+/// key (cheaper than building the set; the ISA fingerprint dedupes again
+/// after the build).
+std::uint64_t spec_digest(const config::PlatformSpec& spec);
+
+/// The exploration seed derived from a hand-built platform: same SIs, same
+/// layer structure, but every instance cap lowered to 1 and the molecule
+/// thinning (molecule_target / min_determinant) removed — a minimal ISA the
+/// search must grow back toward (and past) the hand-built one.
+DesignPoint degraded_seed(const config::PlatformSpec& handbuilt);
+
+/// Applies one random valid mutation (cap up/down, fuse, split) drawn from
+/// `rng`, canonicalizing afterwards. Returns false when no valid mutation
+/// was found (bounded rejection sampling) — the point is then unchanged.
+bool mutate(DesignPoint& point, Xoshiro256& rng);
+
+}  // namespace rispp::dse

@@ -1,0 +1,50 @@
+#include "dse/eval_cache.h"
+
+#include "base/metrics.h"
+
+namespace rispp::dse {
+
+std::optional<EvalResult> EvalCache::lookup(std::uint64_t isa_fingerprint,
+                                            std::uint64_t context) {
+  static MetricCounter& hits = metric_counter("dse.eval_cache.hits");
+  static MetricCounter& misses = metric_counter("dse.eval_cache.misses");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(Key{isa_fingerprint, context});
+  if (it == map_.end()) {
+    ++stats_.misses;
+    misses.add();
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  hits.add();
+  return it->second;
+}
+
+void EvalCache::insert(std::uint64_t isa_fingerprint, std::uint64_t context,
+                       const EvalResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(Key{isa_fingerprint, context}, result);
+}
+
+EvalCache::Stats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void EvalCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+EvalCache& EvalCache::global() {
+  static EvalCache* cache = new EvalCache();  // leaked: alive for atexit users
+  return *cache;
+}
+
+}  // namespace rispp::dse

@@ -1,0 +1,80 @@
+// Process-wide memoization of candidate evaluations.
+//
+// The DSE proposal stream revisits design points constantly — cap mutations
+// commute, fuse/split are inverses — so the same ISA keeps reappearing
+// across generations (and across engine runs inside one process, e.g. the
+// bench harness's repetitions). The cache keys a finished evaluation on the
+// candidate's isa fingerprint() combined with a digest of everything else
+// that shapes the score (scheduler, forecast seeds, AC budgets, trace shape,
+// software reference) so a hit can only ever replay a bit-identical
+// evaluation. Hits/misses are metered as dse.eval_cache.{hits,misses}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+
+namespace rispp::dse {
+
+/// The score of one candidate ISA against one workload context.
+struct EvalResult {
+  /// Mean over the AC budgets of (software reference / RTM total cycles).
+  double mean_speedup = 0.0;
+  /// RTM total cycles per AC budget (DseOptions::ac_budgets order).
+  std::vector<Cycles> total_cycles;
+  /// Area proxy: sum over atom types of slices x the widest per-SI cap.
+  unsigned slices = 0;
+  bool operator==(const EvalResult&) const = default;
+};
+
+class EvalCache {
+ public:
+  /// Returns the memoized result for (fingerprint, context), recording a hit
+  /// or miss metric either way.
+  std::optional<EvalResult> lookup(std::uint64_t isa_fingerprint, std::uint64_t context);
+
+  /// Inserts (first writer wins; a concurrent duplicate insert of the same
+  /// key necessarily carries the same value — evaluation is deterministic).
+  void insert(std::uint64_t isa_fingerprint, std::uint64_t context, const EvalResult& result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+  /// The process-wide instance (leaked, never destructed). Engines default to
+  /// it; tests inject a private one for isolation.
+  static EvalCache& global();
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t context = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Splitmix-style finalizer over the xor; both halves are already FNV
+      // digests, so a cheap combine is enough.
+      std::uint64_t x = k.fingerprint ^ (k.context * 0x9e3779b97f4a7c15ull);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, EvalResult, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace rispp::dse

@@ -1,0 +1,29 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+
+namespace rispp::dse {
+
+bool ParetoFront::dominates(unsigned slices, double speedup) const {
+  // Sorted by slices ascending; only members at or below `slices` qualify.
+  for (const ParetoPoint& p : points_) {
+    if (p.slices > slices) break;
+    if (p.speedup >= speedup) return true;
+  }
+  return false;
+}
+
+bool ParetoFront::insert(const ParetoPoint& point) {
+  if (dominates(point.slices, point.speedup)) return false;
+  // Evict members the newcomer dominates (slices >= point's, speedup <=).
+  std::erase_if(points_, [&](const ParetoPoint& p) {
+    return p.slices >= point.slices && p.speedup <= point.speedup;
+  });
+  const auto at = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const ParetoPoint& a, const ParetoPoint& b) { return a.slices < b.slices; });
+  points_.insert(at, point);
+  return true;
+}
+
+}  // namespace rispp::dse

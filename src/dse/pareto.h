@@ -1,0 +1,42 @@
+// The slices/speedup Pareto front of evaluated candidates.
+//
+// Two objectives: area (slices, minimize) and workload speedup (maximize).
+// The front keeps every non-dominated candidate, identified by its isa
+// fingerprint, and doubles as the early-abandon reference: a proposal whose
+// *upper-bound* speedup at its area is already dominated cannot enter the
+// front, so the engine skips its replay entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rispp::dse {
+
+struct ParetoPoint {
+  unsigned slices = 0;     // minimize
+  double speedup = 0.0;    // maximize
+  std::uint64_t fingerprint = 0;
+  bool operator==(const ParetoPoint&) const = default;
+};
+
+class ParetoFront {
+ public:
+  /// True iff some member has slices <= `slices` AND speedup >= `speedup` —
+  /// i.e. a (weakly) dominating point exists. A candidate whose speedup
+  /// upper bound is dominated can be abandoned unevaluated.
+  bool dominates(unsigned slices, double speedup) const;
+
+  /// Inserts `point` unless dominated; evicts members it dominates. Points
+  /// with equal (slices, speedup) keep the first-inserted fingerprint (the
+  /// newcomer is "dominated" — deterministic, insertion-order independent
+  /// given distinct scores). Returns true iff the point entered the front.
+  bool insert(const ParetoPoint& point);
+
+  /// Members sorted by slices ascending (speedup then strictly increases).
+  const std::vector<ParetoPoint>& points() const { return points_; }
+
+ private:
+  std::vector<ParetoPoint> points_;  // kept sorted by slices ascending
+};
+
+}  // namespace rispp::dse

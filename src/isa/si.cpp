@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "dpg/makespan_memo.h"
 
 namespace rispp {
 
@@ -68,13 +69,14 @@ std::vector<MoleculeImpl> thin_molecules(std::vector<MoleculeImpl> all, unsigned
 
 SiId SpecialInstructionSet::add_si(const std::string& name, DataPathGraph graph,
                                    const Molecule& instance_caps, Cycles trap_overhead,
-                                   unsigned molecule_target, unsigned min_determinant) {
+                                   unsigned molecule_target, unsigned min_determinant,
+                                   MakespanMemo* makespan_memo) {
   RISPP_CHECK_MSG(!find(name).has_value(), "duplicate SI " << name);
   RISPP_CHECK(&graph.library() == library_.get());
 
   EnumerationOptions options;
   options.instance_caps = instance_caps;
-  std::vector<MoleculeImpl> molecules = enumerate_molecules(graph, options);
+  std::vector<MoleculeImpl> molecules = enumerate_molecules(graph, options, makespan_memo);
   if (min_determinant > 0)
     std::erase_if(molecules, [&](const MoleculeImpl& m) {
       return m.atoms.determinant() < min_determinant;

@@ -21,6 +21,8 @@
 
 namespace rispp {
 
+class MakespanMemo;  // dpg/makespan_memo.h
+
 struct SpecialInstruction {
   SiId id = 0;
   std::string name;
@@ -63,10 +65,13 @@ class SpecialInstructionSet {
   /// molecules below that atom count first: heavyweight SIs (SATD, MC, DCT)
   /// have no tiny implementations — their pipelines only pay off once a
   /// minimum stage balance exists. `trap_overhead` models exception
-  /// entry/exit on top of the emulated graph body.
+  /// entry/exit on top of the emulated graph body. `makespan_memo` (optional)
+  /// routes the enumeration's list-schedule makespans through a memo — the
+  /// DSE engine passes the process-wide one so candidate platforms sharing
+  /// graph structure never reschedule; results are bit-identical either way.
   SiId add_si(const std::string& name, DataPathGraph graph, const Molecule& instance_caps,
               Cycles trap_overhead, unsigned molecule_target = 0,
-              unsigned min_determinant = 0);
+              unsigned min_determinant = 0, MakespanMemo* makespan_memo = nullptr);
 
   const SpecialInstruction& si(SiId id) const;
   std::size_t si_count() const { return sis_.size(); }

@@ -10,6 +10,12 @@ namespace rispp {
 
 std::vector<std::string> scheduler_names() { return {"ASF", "FSFR", "SJF", "HEF"}; }
 
+bool has_scheduler(const std::string& name) {
+  for (const std::string& known : scheduler_names())
+    if (known == name) return true;
+  return false;
+}
+
 std::unique_ptr<AtomScheduler> make_scheduler(const std::string& name) {
   if (name == "FSFR") return std::make_unique<FsfrScheduler>();
   if (name == "ASF") return std::make_unique<AsfScheduler>();

@@ -12,6 +12,10 @@ namespace rispp {
 /// The evaluated strategies in the paper's presentation order.
 std::vector<std::string> scheduler_names();
 
+/// Whether `name` names a registered strategy (drivers validate flags with
+/// this before make_scheduler's throw would turn a typo into a stack trace).
+bool has_scheduler(const std::string& name);
+
 /// Throws on unknown names.
 std::unique_ptr<AtomScheduler> make_scheduler(const std::string& name);
 

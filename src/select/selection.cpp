@@ -189,4 +189,15 @@ std::vector<SiRef> select_molecules(const SelectionRequest& request) {
   return selection;
 }
 
+Cycles best_case_latency(const SpecialInstructionSet& set, SiId si,
+                         unsigned container_count) {
+  const SpecialInstruction& s = set.si(si);
+  Cycles best = s.software_latency;
+  for (const MoleculeImpl& m : s.molecules) {
+    if (m.atoms.determinant() > container_count) continue;
+    if (m.latency < best) best = m.latency;
+  }
+  return best;
+}
+
 }  // namespace rispp

@@ -57,4 +57,14 @@ std::vector<SiRef> select_molecules_reference(const SelectionRequest& request);
 unsigned selection_atom_count(const SpecialInstructionSet& set,
                               std::vector<SiRef> const& selection);
 
+/// Floor on the latency ANY run-time selection can ever give `si` under an
+/// Atom Container budget of `container_count`: the fastest molecule whose
+/// determinant fits the budget (a molecule needing more atoms than there are
+/// containers can never be fully resident), or the trap latency when none
+/// fits. The DSE engine's early-abandon bound sums this over the trace —
+/// sound because an execution's latency is always that of some *available*
+/// molecule (or the trap), and every available molecule fits the budget.
+Cycles best_case_latency(const SpecialInstructionSet& set, SiId si,
+                         unsigned container_count);
+
 }  // namespace rispp

@@ -57,6 +57,14 @@ std::size_t WorkloadTrace::total_si_executions() const {
   return n;
 }
 
+Cycles WorkloadTrace::overhead_cycles() const {
+  Cycles total = 0;
+  for (const auto& inst : instances)
+    total += inst.entry_overhead +
+             hot_spots[inst.hot_spot].per_execution_overhead * inst.executions.size();
+  return total;
+}
+
 std::uint64_t WorkloadTrace::executions_of(SiId si) const {
   if (runs_built_) return si < executions_per_si_.size() ? executions_per_si_[si] : 0;
   std::uint64_t n = 0;

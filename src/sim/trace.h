@@ -64,6 +64,13 @@ struct WorkloadTrace {
   /// Executions of one SI across the whole trace.
   std::uint64_t executions_of(SiId si) const;
 
+  /// Base-processor cycles the replay spends outside SI latencies: every
+  /// instance's entry overhead plus the per-execution glue overhead of its
+  /// hot spot. total_cycles of any replay is exactly this plus the summed SI
+  /// latencies, so `overhead_cycles() + Σ execs·floor_latency` is a sound
+  /// lower bound on any backend's total — the DSE early-abandon bound.
+  Cycles overhead_cycles() const;
+
   /// Builds the per-instance run forms and caches per-SI execution totals so
   /// total_si_executions()/executions_of() stop rescanning instances.
   /// Idempotent; re-call after mutating `instances`. Sweeps share one const
