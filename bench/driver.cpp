@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -252,6 +253,48 @@ std::map<std::string, double> parse_metrics_record(const std::filesystem::path& 
                     path.string() << ": unbalanced " << section << " object");
     parse_flat_metrics(text, open, close, path.string(), metrics);
   }
+  // Histogram series fold into the same flat map as
+  // <name>.count/.sum/.min/.max/.p50/.p90/.p99 — the full bucket array stays
+  // in the snapshot file (rispp_stats reads it); the suite record keeps the
+  // summary shape a regression gate can diff.
+  check_no_duplicate_key(text, "histograms", path.string());
+  const std::size_t hist_at = text.find("\"histograms\"");
+  if (hist_at != std::string::npos) {
+    const std::size_t open = text.find('{', hist_at + 12);
+    RISPP_CHECK_MSG(open != std::string::npos,
+                    path.string() << ": histograms is not an object");
+    const std::size_t close = balanced_object_end(text, open);
+    RISPP_CHECK_MSG(close != std::string::npos,
+                    path.string() << ": unbalanced histograms object");
+    std::size_t p = open + 1;
+    while (p < close) {
+      // Histogram names may contain '{' / '}' (label suffixes) but those live
+      // inside JSON strings, so the quote-to-quote read and the string-aware
+      // balanced scan below both stay correct.
+      const std::size_t name_open = text.find('"', p);
+      if (name_open == std::string::npos || name_open >= close) break;
+      const std::size_t name_close = text.find('"', name_open + 1);
+      RISPP_CHECK_MSG(name_close != std::string::npos && name_close < close,
+                      path.string() << ": unterminated histogram name");
+      const std::string name = text.substr(name_open + 1, name_close - name_open - 1);
+      const std::size_t h_open = text.find('{', name_close + 1);
+      RISPP_CHECK_MSG(h_open != std::string::npos && h_open < close,
+                      path.string() << ": histogram " << name << " is not an object");
+      const std::size_t h_close = balanced_object_end(text, h_open);
+      RISPP_CHECK_MSG(h_close != std::string::npos && h_close < close,
+                      path.string() << ": unbalanced histogram " << name);
+      const std::string chunk = text.substr(h_open, h_close - h_open + 1);
+      for (const char* field : {"count", "sum", "min", "max", "p50", "p90", "p99"}) {
+        const auto value = find_number(chunk, field);
+        RISPP_CHECK_MSG(value.has_value(),
+                        path.string() << ": histogram " << name << " lacks " << field);
+        const std::string key = name + "." + field;
+        RISPP_CHECK_MSG(metrics.emplace(key, *value).second,
+                        path.string() << ": duplicate metric " << key);
+      }
+      p = h_close + 1;
+    }
+  }
   return metrics;
 }
 
@@ -471,6 +514,81 @@ std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& pat
     at = text.find('{', close);
   }
   return baseline;
+}
+
+std::map<std::string, std::map<std::string, double>> load_baseline_metrics(
+    const std::filesystem::path& path) {
+  std::map<std::string, std::map<std::string, double>> baseline;
+  const std::string text = read_file(path);
+  if (text.empty()) return baseline;
+  check_single_json_object(text, path.string());
+  check_no_duplicate_key(text, "reports", path.string());
+  const std::size_t reports = text.find("\"reports\"");
+  std::size_t at = reports == std::string::npos ? std::string::npos
+                                                : text.find('{', reports);
+  while (at != std::string::npos) {
+    const std::size_t close = balanced_object_end(text, at);
+    if (close == std::string::npos) break;
+    const std::string chunk = text.substr(at, close - at + 1);
+    // The report name comes first in write_suite's chunk layout, so the
+    // first-occurrence scan reads it before any metric key could shadow it.
+    const auto name = find_string(chunk, "name");
+    const std::size_t metrics_at = chunk.find("\"metrics\"");
+    if (name && metrics_at != std::string::npos) {
+      const std::size_t metrics_open = chunk.find('{', metrics_at);
+      RISPP_CHECK_MSG(metrics_open != std::string::npos,
+                      path.string() << ": metrics of " << *name << " is not an object");
+      const std::size_t metrics_close = balanced_object_end(chunk, metrics_open);
+      RISPP_CHECK_MSG(metrics_close != std::string::npos,
+                      path.string() << ": unbalanced metrics of " << *name);
+      std::map<std::string, double> flat;
+      parse_flat_metrics(chunk, metrics_open, metrics_close, path.string(), flat);
+      if (!flat.empty()) baseline[*name] = std::move(flat);
+    }
+    at = text.find('{', close);
+  }
+  return baseline;
+}
+
+std::string render_metrics_diff(
+    const std::vector<ReportResult>& results,
+    const std::map<std::string, std::map<std::string, double>>& baseline,
+    std::size_t top_per_report) {
+  TextTable table({"report", "metric", "base", "now", "delta"});
+  std::size_t rows = 0;
+  for (const ReportResult& r : results) {
+    const auto it = baseline.find(r.name);
+    if (it == baseline.end() || r.metrics.empty()) continue;
+    struct Row {
+      const std::string* key;
+      double base, now, magnitude;
+    };
+    std::vector<Row> rows_for_report;
+    for (const auto& [key, now] : r.metrics) {
+      const auto base_it = it->second.find(key);
+      if (base_it == it->second.end()) continue;  // new metric: nothing to diff
+      const double base = base_it->second;
+      if (base == now) continue;
+      // Rank by relative change; a metric appearing from zero ranks highest.
+      const double magnitude =
+          base != 0.0 ? std::abs(now / base - 1.0)
+                      : std::numeric_limits<double>::infinity();
+      rows_for_report.push_back({&key, base, now, magnitude});
+    }
+    std::stable_sort(rows_for_report.begin(), rows_for_report.end(),
+                     [](const Row& a, const Row& b) { return a.magnitude > b.magnitude; });
+    if (rows_for_report.size() > top_per_report) rows_for_report.resize(top_per_report);
+    for (const Row& row : rows_for_report) {
+      const std::string delta =
+          row.base != 0.0 ? format_fixed((row.now / row.base - 1.0) * 100.0, 1) + "%"
+                          : std::string("new");
+      table.add(r.name, *row.key, format_fixed(row.base, 3), format_fixed(row.now, 3),
+                delta);
+      ++rows;
+    }
+  }
+  if (rows == 0) return "(no overlapping metrics changed)\n";
+  return table.render();
 }
 
 RegressionReport compare_against_baseline(const std::vector<ReportResult>& results,

@@ -83,9 +83,12 @@ std::vector<std::filesystem::path> discover_reports(const std::filesystem::path&
 std::optional<PerfRecord> parse_perf_record(const std::filesystem::path& path);
 
 /// Parses a METRICS.json registry snapshot ({"counters": {...}, "gauges":
-/// {...}}) into one flat name → value map. A missing or empty file yields an
-/// empty map; structural corruption (trailing garbage, unbalanced braces,
-/// duplicated metric names) throws with a message naming the file.
+/// {...}, "histograms": {...}}) into one flat name → value map; each
+/// histogram folds to <name>.count/.sum/.min/.max/.p50/.p90/.p99 (the bucket
+/// arrays stay in the snapshot file — rispp_stats reads those). A missing or
+/// empty file yields an empty map; structural corruption (trailing garbage,
+/// unbalanced braces, duplicated metric names) throws with a message naming
+/// the file.
 std::map<std::string, double> parse_metrics_record(const std::filesystem::path& path);
 
 /// Runs `binaries` across a bounded pool (options.jobs children at a time),
@@ -111,6 +114,23 @@ void write_suite(const std::vector<ReportResult>& results, int frames,
 /// Missing/empty files yield an empty map (the CLI reports that case);
 /// readable-but-corrupted content (trailing garbage, duplicate keys) throws.
 std::map<std::string, PerfRecord> load_baseline(const std::filesystem::path& path);
+
+/// The per-report flat metrics maps of a BENCH_SUITE.json (report name →
+/// metric name → value), for rispp_bench --stats-diff. Reports without a
+/// metrics subobject are absent; a missing/empty file yields an empty map;
+/// corrupted content throws.
+std::map<std::string, std::map<std::string, double>> load_baseline_metrics(
+    const std::filesystem::path& path);
+
+/// Renders the largest per-report metric movements of this run against a
+/// baseline suite's metrics: for every report present in both, the
+/// `top_per_report` metrics with the biggest relative change (a metric
+/// growing from zero ranks highest, shown as "new"). Purely informational —
+/// the perf gate stays wall-clock/cells-per-sec based.
+std::string render_metrics_diff(
+    const std::vector<ReportResult>& results,
+    const std::map<std::string, std::map<std::string, double>>& baseline,
+    std::size_t top_per_report);
 
 struct RegressionDelta {
   std::string name;

@@ -1,4 +1,5 @@
-// Process-global metrics registry: named monotonic counters and gauges.
+// Process-global metrics registry: named monotonic counters, gauges, and
+// log-bucketed histograms.
 //
 // The ad-hoc counters previously scattered across rtm/, sim/stats.h and the
 // bench driver get one home with a JSON snapshot API. Counters are relaxed
@@ -8,13 +9,32 @@
 //   static MetricCounter& hits = metric_counter("rtm.decision_cache.hits");
 //   hits.add();
 //
+// Histograms capture whole distributions (DESIGN §7): HDR-style log buckets
+// (32 linear sub-buckets per octave, so a recorded value lands in a bucket
+// at most 1/32 ≈ 3.1% wide relative to its magnitude; values below 64 are
+// exact) behind per-thread relaxed-atomic shards that only merge at snapshot
+// time. A labeled-scope overload gives per-tenant series first-class names:
+//
+//   metric_histogram("rtm.arbiter.port_wait_cycles", {"tenant", id}).record(waited);
+//
+// registers "rtm.arbiter.port_wait_cycles{tenant=3}" — one canonical string,
+// no ad-hoc concatenation at call sites.
+//
 // RISPP_METRICS=<path> (read by the same startup hook as RISPP_TRACE) writes
 // the snapshot at process exit; the rispp_bench driver sets it per child and
 // folds every report's snapshot into BENCH_SUITE.json.
+// RISPP_METRICS_INTERVAL_MS=<n> additionally starts the flight recorder: a
+// background sampler that emits every counter/gauge as Chrome-trace counter
+// samples each window (churn becomes a slope, not an end-state) and keeps a
+// rotating ring of windowed snapshots, flushed to <RISPP_METRICS>.ring.json
+// at exit. Recording into any of these never perturbs simulation results.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -43,24 +63,134 @@ class MetricGauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Returns the counter/gauge registered under `name`, creating it on first
-/// use. The reference stays valid for the process lifetime.
+/// A merged histogram view: immutable, cheap to combine, and the unit the
+/// JSON snapshot / rispp_stats layers traffic in. Buckets are (upper bound,
+/// count) pairs in ascending value order, non-empty buckets only.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // valid only when count > 0
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// The q-th quantile under the same index rule as percentile_sorted
+  /// (floor(q*count), clamped), answered with the holding bucket's upper
+  /// bound — so p(q) ≥ the exact order statistic and ≤ it · (1 + 1/32).
+  std::uint64_t p(double q) const;
+
+  /// Fraction of recorded values ≤ `objective`, counting only buckets whose
+  /// upper bound fits (a conservative lower bound — the SLO never looks
+  /// better than reality). Returns 1.0 for an empty snapshot.
+  double fraction_at_most(std::uint64_t objective) const;
+
+  /// Folds `other` in. Merge is commutative and associative: buckets add
+  /// pointwise, count/sum add, min/max widen.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed histogram of non-negative integer samples (cycles, ns, µs).
+/// record() is wait-free from any thread: samples land in one of kShards
+/// per-thread shards (threads map to shards round-robin, so at ≤ kShards
+/// recording threads every shard is single-writer) with relaxed atomics;
+/// shards allocate lazily and merge only in snapshot().
+class MetricHistogram {
+ public:
+  /// Linear sub-buckets per octave: 1 << kSubBucketBits = 32, the ~5%-class
+  /// relative-error budget the snapshot quantiles inherit.
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBucketBits;
+  /// Index 0..2·kSubBuckets-1 are exact; above that, one run of kSubBuckets
+  /// indices per octave up to 2^64.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>((64 - kSubBucketBits + 1) * kSubBuckets);
+
+  MetricHistogram() = default;
+  ~MetricHistogram();
+  MetricHistogram(const MetricHistogram&) = delete;
+  MetricHistogram& operator=(const MetricHistogram&) = delete;
+
+  void record(std::uint64_t value);
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket math, exposed for the tests' error-bound proofs.
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_upper_bound(std::size_t index);
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard;
+  Shard& shard_for_thread();
+
+  std::array<std::atomic<Shard*>, kShards> shards_{};
+};
+
+/// One label dimension for a histogram series; the registered name becomes
+/// "<name>{<key>=<value>}". Keys and values with '{', '}', '=' or '"' are
+/// rejected (RISPP_CHECK) — they would break the canonical form.
+struct MetricLabel {
+  std::string_view key;
+  std::uint64_t value = 0;
+};
+
+/// Returns the counter/gauge/histogram registered under `name`, creating it
+/// on first use. The reference stays valid for the process lifetime.
 MetricCounter& metric_counter(std::string_view name);
 MetricGauge& metric_gauge(std::string_view name);
+MetricHistogram& metric_histogram(std::string_view name);
+MetricHistogram& metric_histogram(std::string_view name, const MetricLabel& label);
 
-/// All registered counters/gauges, sorted by name.
+/// All registered counters/gauges/histograms, sorted by name.
 std::vector<std::pair<std::string, std::uint64_t>> metrics_counter_snapshot();
 std::vector<std::pair<std::string, double>> metrics_gauge_snapshot();
+std::vector<std::pair<std::string, HistogramSnapshot>> metrics_histogram_snapshot();
 
-/// {"counters": {...}, "gauges": {...}} with keys sorted.
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+/// sorted. Each histogram entry carries count/sum/min/max, p50/p90/p99, and
+/// its non-empty buckets as [upper, count] pairs.
 std::string metrics_snapshot_json();
 
 /// Writes metrics_snapshot_json() to `path` (parent directories created).
 /// Returns false (with a stderr diagnostic) on I/O failure.
 bool write_metrics_json(const std::string& path);
 
+/// Schema check for a metrics snapshot document (or a flight-recorder ring
+/// file — an object with a "windows" array of snapshots). Returns an error
+/// description, or nullopt if the document is well-formed. Used by
+/// trace_check --metrics and the tests.
+std::optional<std::string> validate_metrics_json(std::istream& in);
+
 /// RISPP_METRICS=<path> registers an at-exit snapshot write. Called from the
 /// same static initializer as init_trace_from_env().
 void init_metrics_from_env();
+
+// ---------------------------------------------------------------------------
+// Flight recorder: periodic windowed snapshots while the process runs.
+
+struct FlightRecorderOptions {
+  /// Sampling period. Must be ≥ 1.
+  int interval_ms = 100;
+  /// Where the ring is written on stop (empty keeps it in memory only —
+  /// the Chrome-trace counter samples still flow if a trace is active).
+  std::string ring_path;
+  /// Windows retained; older ones rotate out.
+  std::size_t ring_capacity = 128;
+};
+
+/// Starts the background sampler (idempotent — a second start is ignored
+/// while one is running). Each window emits every registered counter and
+/// gauge as a 'C' sample on the metrics trace track and appends a windowed
+/// snapshot (with histogram summaries) to the ring.
+void start_flight_recorder(const FlightRecorderOptions& options);
+
+/// Stops the sampler, takes one final window, and writes the ring to
+/// ring_path as {"interval_ms": .., "windows": [...]}. Safe to call with no
+/// recorder running. Also armed via atexit by init_flight_recorder_from_env.
+void stop_flight_recorder();
+
+/// RISPP_METRICS_INTERVAL_MS=<n> (strictly parsed; garbage exits 2 naming
+/// the variable) starts the recorder with ring_path = RISPP_METRICS path +
+/// ".ring.json" when RISPP_METRICS is set. Called from the same static
+/// initializer as init_trace_from_env().
+void init_flight_recorder_from_env();
 
 }  // namespace rispp

@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/json_mini.h"
 #include "base/log.h"
 #include "base/metrics.h"
 
@@ -398,172 +399,8 @@ void init_trace_from_env() {
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-struct JsonParser {
-  const std::string& text;
-  std::size_t pos = 0;
-  std::string error;
-
-  bool fail(const std::string& message) {
-    if (error.empty())
-      error = message + " at offset " + std::to_string(pos);
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (pos >= text.size()) return fail("unexpected end of input");
-    const char c = text[pos];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return parse_string(out.string);
-    }
-    if (c == 't' || c == 'f') {
-      const bool value = c == 't';
-      const char* word = value ? "true" : "false";
-      if (text.compare(pos, std::strlen(word), word) != 0) return fail("invalid literal");
-      pos += std::strlen(word);
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = value;
-      return true;
-    }
-    if (c == 'n') {
-      if (text.compare(pos, 4, "null") != 0) return fail("invalid literal");
-      pos += 4;
-      out.kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    char* end = nullptr;
-    const double number = std::strtod(text.c_str() + pos, &end);
-    if (end == text.c_str() + pos) return fail("invalid value");
-    pos = static_cast<std::size_t>(end - text.c_str());
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = number;
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (text[pos] != '"') return fail("expected string");
-    ++pos;
-    out.clear();
-    while (pos < text.size()) {
-      const char c = text[pos];
-      if (c == '"') {
-        ++pos;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos;
-        if (pos >= text.size()) break;
-        const char esc = text[pos];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos + 4 >= text.size()) return fail("truncated \\u escape");
-            // Validation only: keep the raw escape, no UTF-8 decoding.
-            out += "\\u";
-            out.append(text, pos + 1, 4);
-            pos += 4;
-            break;
-          }
-          default: return fail("invalid escape");
-        }
-        ++pos;
-        continue;
-      }
-      out += c;
-      ++pos;
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    ++pos;  // '['
-    skip_ws();
-    if (pos < text.size() && text[pos] == ']') {
-      ++pos;
-      return true;
-    }
-    for (;;) {
-      JsonValue element;
-      if (!parse_value(element)) return false;
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (pos >= text.size()) return fail("unterminated array");
-      if (text[pos] == ',') {
-        ++pos;
-        continue;
-      }
-      if (text[pos] == ']') {
-        ++pos;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    ++pos;  // '{'
-    skip_ws();
-    if (pos < text.size() && text[pos] == '}') {
-      ++pos;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (pos >= text.size() || text[pos] != '"') return fail("expected object key");
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
-      ++pos;
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.object.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (pos >= text.size()) return fail("unterminated object");
-      if (text[pos] == ',') {
-        ++pos;
-        continue;
-      }
-      if (text[pos] == '}') {
-        ++pos;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-};
+using jsonmini::JsonParser;
+using jsonmini::JsonValue;
 
 std::optional<double> event_number(const JsonValue& event, std::string_view key) {
   const JsonValue* v = event.find(key);
@@ -676,6 +513,9 @@ namespace {
   init_log_level_from_env();
   init_metrics_from_env();
   init_trace_from_env();
+  // Last so its atexit hook runs first (LIFO): the sampler stops before the
+  // trace flush and the final metrics write see a quiet registry.
+  init_flight_recorder_from_env();
   return true;
 }();
 }  // namespace

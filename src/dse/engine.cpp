@@ -1,6 +1,7 @@
 #include "dse/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <set>
 #include <utility>
@@ -27,6 +28,10 @@ EvalResult evaluate_set(const SpecialInstructionSet& set, const WorkloadTrace& t
                         Cycles reference, const std::vector<std::vector<std::uint64_t>>& seeds,
                         const DseOptions& options, unsigned slices, ReplayMode mode,
                         bool decision_cache) {
+  // Candidate-evaluation wall time: the distribution the eval-cache and
+  // early-abandon layers are trying to shrink (safe from pool workers; the
+  // histogram shards per thread).
+  const auto eval_started = std::chrono::steady_clock::now();
   EvalResult result;
   result.slices = slices;
   result.total_cycles.reserve(options.ac_budgets.size());
@@ -46,6 +51,11 @@ EvalResult evaluate_set(const SpecialInstructionSet& set, const WorkloadTrace& t
     sum += static_cast<double>(reference) / static_cast<double>(sim.total_cycles);
   }
   result.mean_speedup = sum / static_cast<double>(options.ac_budgets.size());
+  static MetricHistogram& eval_ns = metric_histogram("dse.candidate_eval_ns");
+  eval_ns.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - eval_started)
+          .count()));
   return result;
 }
 

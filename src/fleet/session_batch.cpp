@@ -9,6 +9,7 @@
 
 #include "base/check.h"
 #include "base/metrics.h"
+#include "base/quantile.h"
 #include "isa/si.h"
 #include "base/trace_event.h"
 #include "sched/registry.h"
@@ -216,13 +217,14 @@ FleetReport run_fleet(SessionBatch& batch) {
 
   std::vector<double> latencies(report.sessions);
   for (std::size_t s = 0; s < report.sessions; ++s) latencies[s] = batch.latency_ms(s);
-  std::sort(latencies.begin(), latencies.end());
-  const auto percentile = [&](double q) {
-    const std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(latencies.size()));
-    return latencies[std::min(idx, latencies.size() - 1)];
-  };
-  report.latency_p50_ms = percentile(0.50);
-  report.latency_p99_ms = percentile(0.99);
+  // Shared report path (base/quantile.h): the whole distribution lands in the
+  // histogram (as µs) while the reported two points stay bit-exact with the
+  // old sort-based block via the exact-mode toggle.
+  const PercentilePair<double> latency_pcts =
+      record_and_percentiles(latencies, metric_histogram("fleet.session_latency_us"),
+                             /*to_units=*/1000.0, QuantileMode::kExact);
+  report.latency_p50_ms = latency_pcts.p50;
+  report.latency_p99_ms = latency_pcts.p99;
 
   if (cache != nullptr) {
     report.cache_hits = cache->hits() - hits0;

@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "base/metrics.h"
+#include "base/quantile.h"
 #include "baselines/software_only.h"
 #include "rtm/run_time_manager.h"
 #include "rtm/tenant_sim.h"
@@ -131,14 +132,20 @@ ContendedReport run_contended_fleet(const std::vector<SessionSpec>& specs,
     checksum = fingerprint_mix(checksum, cycles[s]);
   }
   report.cycles_checksum = checksum;
-  std::sort(cycles.begin(), cycles.end());
-  const auto percentile = [&](double q) {
-    const std::size_t idx =
-        static_cast<std::size_t>(q * static_cast<double>(cycles.size()));
-    return cycles[std::min(idx, cycles.size() - 1)];
-  };
-  report.sim_cycles_p50 = percentile(0.50);
-  report.sim_cycles_p99 = percentile(0.99);
+  // Per-tenant session-latency series: sessions map onto tenant slots in
+  // arrival order, so slot = session % tenants_per_device aggregates the
+  // same slot across devices.
+  for (std::size_t s = 0; s < specs.size(); ++s)
+    metric_histogram("fleet.contended.session_cycles",
+                     {"tenant", static_cast<std::uint64_t>(s % per_device)})
+        .record(cycles[s]);
+  // Shared report path (base/quantile.h); kExact keeps p50/p99 bit-exact
+  // with the old sort-based block.
+  const PercentilePair<Cycles> cycle_pcts =
+      record_and_percentiles(cycles, metric_histogram("fleet.contended.session_cycles"),
+                             /*to_units=*/1.0, QuantileMode::kExact);
+  report.sim_cycles_p50 = cycle_pcts.p50;
+  report.sim_cycles_p99 = cycle_pcts.p99;
   report.aggregate_speedup =
       rispp_total > 0
           ? static_cast<double>(software_total) / static_cast<double>(rispp_total)

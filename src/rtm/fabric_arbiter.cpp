@@ -85,6 +85,9 @@ void FabricArbiter::bind(TenantId t, const AtomLibrary* library,
   ten.lane = trace_new_lane();
   trace_name_lane(TraceTrack::kArbiter, ten.lane,
                   trace_intern("tenant " + std::to_string(t)));
+  ten.port_wait_hist = &metric_histogram("rtm.arbiter.port_wait_cycles", {"tenant", t});
+  ten.victim_age_hist =
+      &metric_histogram("rtm.arbiter.eviction_victim_age_cycles", {"tenant", t});
 }
 
 ContainerFile& FabricArbiter::containers(TenantId t) {
@@ -135,6 +138,7 @@ std::optional<Cycles> FabricArbiter::try_start(TenantId t, AtomTypeId type,
     const Cycles waited = now - ten.waiting_since;
     port_wait_cycles_ += waited;
     port_wait_counter().add(waited);
+    ten.port_wait_hist->record(waited);
   }
   ten.denied_epochs = 0;
   ten.last_denied_epoch = ~std::uint64_t{0};
@@ -249,6 +253,9 @@ unsigned FabricArbiter::shrink_tenant(TenantId t, unsigned count, Cycles now) {
     RISPP_CHECK(evicted);
     ++evictions_;
     evictions_counter().add();
+    // How stale was the atom we threw out? A young victim means the LRU is
+    // thrashing inside the tenant's working set.
+    ten.victim_age_hist->record(now >= victim_used ? now - victim_used : 0);
     ++freed;
     // The victim lost a ready atom behind its RTM's back: bump the mutation
     // generation so the tenant's latency memo is rebuilt.

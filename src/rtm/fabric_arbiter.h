@@ -36,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/trace_event.h"
 #include "base/types.h"
 #include "dpg/atom_library.h"
@@ -216,6 +217,10 @@ class FabricArbiter {
     // Tracing: one simulated-time lane per tenant; type names interned lazily.
     TraceLane lane = 0;
     std::vector<const char*> traced_type_names;
+    // Per-tenant distribution series (DESIGN §7), resolved once in bind() so
+    // the grant/eviction hot paths never touch the registry lock.
+    MetricHistogram* port_wait_hist = nullptr;
+    MetricHistogram* victim_age_hist = nullptr;
   };
 
   Tenant& tenant(TenantId t);

@@ -1,6 +1,7 @@
 #include "rtm/run_time_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/check.h"
 #include "base/clock.h"
@@ -31,6 +32,9 @@ RunTimeManager::RunTimeManager(const SpecialInstructionSet* set, std::size_t hot
       soft_demand_(set->atom_type_count()),
       hot_spot_sup_(hot_spot_count, Molecule(set->atom_type_count())),
       successor_(hot_spot_count, 0),
+      last_forecast_(hot_spot_count),
+      last_selection_(hot_spot_count),
+      entry_seen_(hot_spot_count, false),
       prefetch_demand_(set->atom_type_count()),
       type_last_used_(set->atom_type_count(), 0),
       cached_molecule_(set->si_count(), kSoftwareMolecule),
@@ -112,6 +116,23 @@ void RunTimeManager::on_hot_spot_entry(const WorkloadTrace& trace, std::size_t i
   // long replay is pure cache hits).
   const DecisionEntry& decision = decide(info.sis, *forecast, cf_->active());
   selection_ = decision.selection;
+
+  // Mispredict → reconfig churn (ROADMAP traffic-robustness metric): the
+  // forecast drifted since this hot spot's previous entry AND that drift
+  // flipped the selection, so the loads below are churn the forecaster
+  // caused. Oracle forecasts track the true workload — a change there is a
+  // real workload shift, not a mispredict.
+  if (config_.forecast_mode != ForecastMode::kOracle && entry_seen_[hs] &&
+      *forecast != last_forecast_[hs] && decision.selection != last_selection_[hs]) {
+    static MetricCounter& mispredicts = metric_counter("rtm.forecast.mispredicts");
+    mispredicts.add();
+    static MetricHistogram& churn =
+        metric_histogram("rtm.forecast.mispredict_reconfig_loads");
+    churn.record(decision.loads.size());
+  }
+  entry_seen_[hs] = true;
+  last_forecast_[hs] = *forecast;
+  last_selection_[hs] = decision.selection;
 
   // The new hot spot overrides whatever the previous one still wanted to
   // load (the in-flight atom, if any, completes normally).
@@ -452,6 +473,9 @@ void RunTimeManager::compute_decision(const std::vector<SiId>& sis,
                                       const std::vector<std::uint64_t>& forecast,
                                       unsigned budget, const Molecule& ready,
                                       DecisionEntry& out) {
+  // Wall-clock cost of the uncached selection→schedule pipeline; cache hits
+  // never get here, so this is the tail the memo layers are hiding.
+  const auto started = std::chrono::steady_clock::now();
   SelectionRequest sel_req;
   sel_req.set = set_;
   sel_req.hot_spot_sis = sis;
@@ -467,6 +491,11 @@ void RunTimeManager::compute_decision(const std::vector<SiId>& sis,
   sched_req.payback_cycles_per_atom = payback_cycles_per_atom_;
   Schedule schedule = config_.scheduler->schedule(sched_req);
   out.loads = std::move(schedule.loads);
+  static MetricHistogram& latency = metric_histogram("rtm.decision_latency_ns");
+  latency.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count()));
 }
 
 void RunTimeManager::refresh_cache() {

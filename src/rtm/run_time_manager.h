@@ -231,6 +231,12 @@ class RunTimeManager final : public ExecutionBackend {
   std::deque<AtomTypeId> pending_loads_; // remaining SF output
   std::deque<AtomTypeId> prefetch_loads_;       // predicted next hot spot's SF
   std::vector<HotSpotId> successor_;            // last observed successor per hot spot
+  // Forecast-churn attribution (DESIGN §7): each hot spot's previous forecast
+  // and selection; a drifted forecast that flips the selection is a
+  // mispredict and the resulting loads are churn.
+  std::vector<std::vector<std::uint64_t>> last_forecast_;
+  std::vector<std::vector<SiRef>> last_selection_;
+  std::vector<bool> entry_seen_;
   HotSpotId current_hot_spot_ = 0;
   bool seen_any_hot_spot_ = false;
   bool prefetch_computed_ = false;

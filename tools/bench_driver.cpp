@@ -42,6 +42,9 @@ void usage(const char* argv0) {
                "                      after a fully green run, rewrite <path>\n"
                "                      (e.g. ci/bench_baseline.json) from this\n"
                "                      run's BENCH_SUITE.json\n"
+               "  --stats-diff <path> BENCH_SUITE.json to diff this run's\n"
+               "                      folded metrics against (informational;\n"
+               "                      never gates)\n"
                "  --trace-dir <dir>   run every report with RISPP_TRACE set:\n"
                "                      one <dir>/<name>.trace.json per report\n"
                "                      (Chrome about://tracing / Perfetto format)\n"
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
   fs::path out_dir = "bench-out";
   fs::path baseline_path;
   fs::path refresh_path;
+  fs::path stats_diff_path;
   fs::path trace_dir;
   std::string filter;
   std::vector<fs::path> explicit_binaries;
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
       if (!n) { std::fprintf(stderr, "--threshold: not a percentage\n"); return 2; }
       threshold = static_cast<double>(*n) / 100.0;
     } else if (arg == "--refresh-baseline") refresh_path = next_arg(i, "--refresh-baseline");
+    else if (arg == "--stats-diff") stats_diff_path = next_arg(i, "--stats-diff");
     else if (arg == "--trace-dir") trace_dir = next_arg(i, "--trace-dir");
     else if (arg == "--no-warm") warm = false;
     else if (arg == "--list") list_only = true;
@@ -185,6 +190,21 @@ int main(int argc, char** argv) {
     if (gate.failed) {
       std::fprintf(stderr, "perf regression gate FAILED\n");
       exit_code = 1;
+    }
+  }
+
+  if (!stats_diff_path.empty()) {
+    // Informational metrics movement vs a prior suite — never gates: metric
+    // values (cycle counts, histogram quantiles) move legitimately with
+    // workload changes, unlike the wall-clock/cells-per-sec budget above.
+    const auto metrics_baseline = bench::load_baseline_metrics(stats_diff_path);
+    if (metrics_baseline.empty()) {
+      std::fprintf(stderr, "--stats-diff: %s has no per-report metrics\n",
+                   stats_diff_path.string().c_str());
+    } else {
+      std::printf("\nmetric movements vs %s (top 5 per report):\n%s\n",
+                  stats_diff_path.string().c_str(),
+                  bench::render_metrics_diff(results, metrics_baseline, 5).c_str());
     }
   }
 

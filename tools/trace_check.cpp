@@ -3,12 +3,18 @@
 //   trace_check out.json                        # well-formedness only
 //   trace_check --min-tracks 4 out.json         # plus shape requirements
 //   trace_check --require-counter rtm.decision_cache.hits out.json
+//   trace_check --metrics METRICS.json          # metrics-snapshot schema
 //
 // Exit 0 when the file parses, passes the well-formedness rules of
 // validate_chrome_trace (matched B/E pairs, per-row monotonic timestamps,
 // valid phases) and meets every requirement; 1 when a check fails; 2 on
 // usage errors or an unreadable file. CI runs this against the traced fig7
 // report before uploading the trace as an artifact.
+//
+// --metrics switches the subject: the file is validated against the metrics
+// snapshot schema instead (validate_metrics_json — a registry snapshot or a
+// flight-recorder ring; histogram summaries must be internally consistent,
+// bucket arrays must sum to their count). Shape flags don't apply there.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "base/env.h"
+#include "base/metrics.h"
 #include "base/trace_event.h"
 
 namespace {
@@ -27,7 +34,9 @@ void usage(const char* argv0) {
                "  --min-tracks <n>         require >= n distinct tracks (pids)\n"
                "  --min-events <n>         require >= n non-metadata events\n"
                "  --require-counter <name> require a 'C' sample of this counter\n"
-               "                           (repeatable)\n",
+               "                           (repeatable)\n"
+               "  --metrics                validate a metrics snapshot / ring\n"
+               "                           file instead of a Chrome trace\n",
                argv0);
 }
 
@@ -39,6 +48,7 @@ int main(int argc, char** argv) {
   std::string path;
   long min_tracks = 0;
   long min_events = 0;
+  bool metrics_mode = false;
   std::vector<std::string> required_counters;
 
   const auto next_arg = [&](int& i, const char* flag) -> const char* {
@@ -60,6 +70,8 @@ int main(int argc, char** argv) {
       min_events = *n;
     } else if (arg == "--require-counter") {
       required_counters.emplace_back(next_arg(i, "--require-counter"));
+    } else if (arg == "--metrics") {
+      metrics_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -79,10 +91,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (metrics_mode &&
+      (min_tracks > 0 || min_events > 0 || !required_counters.empty())) {
+    std::fprintf(stderr, "--metrics does not combine with trace shape flags\n");
+    return 2;
+  }
+
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
     return 2;
+  }
+  if (metrics_mode) {
+    if (const auto problem = validate_metrics_json(in)) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), problem->c_str());
+      return 1;
+    }
+    std::printf("trace_check: %s: metrics schema ok\n", path.c_str());
+    return 0;
   }
   TraceValidation info;
   if (const auto problem = validate_chrome_trace(in, &info)) {
